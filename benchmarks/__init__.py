@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating the paper's figures and ablations."""

@@ -1,0 +1,70 @@
+"""Ablation A3: random-forest size for the bit-level timing-error model.
+
+The paper motivates Random Forest Classification as a balance between
+single-decision-tree overfitting and training cost.  This ablation trains
+the per-bit model for one timing-error-prone design with 1, 4 and 12
+trees and compares ABPER / AVPE on a held-out trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.report import format_log_value, format_table
+from repro.core.config import ISAConfig
+from repro.core.isa import InexactSpeculativeAdder
+from repro.ml.model import BitLevelTimingModel, TimingModelOptions
+from repro.synth.flow import synthesize
+from repro.timing.clocking import ClockPlan
+from repro.timing.event_sim import EventDrivenSimulator
+from repro.workloads.generators import uniform_workload
+
+FOREST_SIZES = (1, 4, 12)
+
+
+def run_forest_ablation(train_length, eval_length):
+    """ABPER/AVPE of the per-bit model for several ensemble sizes."""
+    plan = ClockPlan.paper()
+    period = plan.period_for(0.15)
+    config = ISAConfig.from_quadruple((16, 1, 0, 2))
+    design = synthesize(config)
+    adder = InexactSpeculativeAdder(config)
+    simulator = EventDrivenSimulator(design.netlist, design.annotation)
+
+    train = uniform_workload(train_length, width=32, seed=41)
+    evaluation = uniform_workload(eval_length, width=32, seed=42)
+    train_gold = adder.add_many(train.a, train.b)
+    eval_gold = adder.add_many(evaluation.a, evaluation.b)
+    train_timing = simulator.run_trace(train.as_operands(), period)
+    eval_timing = simulator.run_trace(evaluation.as_operands(), period)
+
+    metrics = {}
+    for n_estimators in FOREST_SIZES:
+        options = TimingModelOptions(n_estimators=n_estimators, max_depth=8, seed=7)
+        model = BitLevelTimingModel(design=config.name, clock_period=period,
+                                    output_width=33, options=options)
+        model.fit(train, train_gold, train_timing)
+        metrics[n_estimators] = model.evaluate(evaluation, eval_gold, eval_timing)
+    return metrics
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_forest_size(benchmark, bench_config, results_dir):
+    """Larger forests must not be (meaningfully) worse than a single tree."""
+    train_length = max(bench_config.training_length // 2, 300)
+    eval_length = max(bench_config.evaluation_length // 2, 250)
+    metrics = benchmark.pedantic(run_forest_ablation, args=(train_length, eval_length),
+                                 rounds=1, iterations=1)
+
+    table_rows = [(n, format_log_value(values["abper"]), format_log_value(values["avpe"]))
+                  for n, values in sorted(metrics.items())]
+    write_result(results_dir, "ablation_forest",
+                 format_table(["trees", "ABPER", "AVPE"], table_rows,
+                              title="Ablation A3 — forest size for ISA (16,1,0,2) @ 15% CPR"))
+
+    single_tree = metrics[1]["abper"]
+    largest = metrics[max(FOREST_SIZES)]["abper"]
+    assert largest <= single_tree * 1.5 + 1e-3
+    for values in metrics.values():
+        assert values["abper"] <= 0.1

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 10: bit-level error distribution of ISA (8,0,0,4).
+
+Experiment E4 in DESIGN.md: structural errors are attributed to bit
+positions by the behavioural model, timing errors by the overclocked
+(15 % CPR) gate-level simulation of the same trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.fig10_distribution import run_fig10
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_bit_error_distribution(benchmark, bench_config, results_dir):
+    """Regenerate Fig. 10 and check the paper's qualitative observations."""
+    result = benchmark.pedantic(run_fig10, args=(bench_config,), rounds=1, iterations=1)
+    write_result(results_dir, "fig10_distribution", result.format_table())
+
+    distribution = result.distribution
+    width = distribution.width
+
+    # The first speculative path (LSB block) uses the adder carry-in directly,
+    # so the low bits carry no structural error (paper, Section V-D).
+    assert distribution.structural[:4].sum() == 0.0
+    # Structural errors appear on the error-reduction bits of the preceding
+    # sums, i.e. just below the block boundaries at 8, 16 and 24.
+    for boundary in (8, 16, 24):
+        assert distribution.structural[boundary - 4:boundary].sum() > 0.0
+    # Structural errors never reach the MSB region above the last boundary.
+    assert distribution.structural[25:].sum() == 0.0
+    # Timing errors exist at 15% CPR for this design and are NOT confined to
+    # the MSBs: the speculative structure spreads them across the paths.
+    assert distribution.timing.sum() > 0.0
+    lower_half_timing = distribution.timing[:width // 2].sum()
+    assert lower_half_timing > 0.0

@@ -1,0 +1,73 @@
+"""Throughput benchmarks (A4): how fast the substrate itself is.
+
+These are classic pytest-benchmark micro-benchmarks (multiple rounds) for
+the operations the experiments lean on: vectorised behavioural ISA
+characterisation, zero-delay netlist evaluation, the fast timing
+simulator and synthesis of a full design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISAConfig
+from repro.core.isa import InexactSpeculativeAdder
+from repro.synth.flow import synthesize
+from repro.timing.fast_sim import FastTimingSimulator
+from repro.workloads.generators import uniform_workload
+
+CONFIG = ISAConfig.from_quadruple((8, 0, 0, 4))
+
+
+@pytest.fixture(scope="module")
+def operands():
+    trace = uniform_workload(20000, width=32, seed=3)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def synthesized():
+    return synthesize(CONFIG)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_behavioural_isa_throughput(benchmark, operands):
+    """Vectorised golden-model characterisation (20k additions per round)."""
+    adder = InexactSpeculativeAdder(CONFIG)
+    result = benchmark(adder.add_many, operands.a, operands.b)
+    assert result.shape == operands.a.shape
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_structural_stats_throughput(benchmark, operands):
+    """Golden model with per-block fault attribution (Fig. 10 structural series)."""
+    adder = InexactSpeculativeAdder(CONFIG)
+    result, stats = benchmark(adder.add_many_with_stats, operands.a, operands.b)
+    assert stats.cycles == operands.length
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_netlist_logic_evaluation_throughput(benchmark, operands, synthesized):
+    """Zero-delay gate-level evaluation of the synthesized ISA netlist."""
+    chunk = {"A": operands.a[:4000], "B": operands.b[:4000],
+             "cin": np.zeros(4000, dtype=np.uint64)}
+    words = benchmark(synthesized.netlist.compute_words, chunk)
+    assert words.shape == (4000,)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_fast_timing_simulation_throughput(benchmark, operands, synthesized):
+    """Vectorised two-vector timing simulation at the paper's 15% CPR clock."""
+    simulator = FastTimingSimulator(synthesized.netlist, synthesized.annotation)
+    trace_operands = {"A": operands.a[:3000], "B": operands.b[:3000],
+                      "cin": np.zeros(3000, dtype=np.uint64)}
+    trace = benchmark(simulator.run_trace, trace_operands, 2.55e-10)
+    assert trace.cycles == 2999
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_synthesis_flow_throughput(benchmark):
+    """Full synthesis flow (generate, optimise, size, annotate) of one ISA."""
+    design = benchmark(synthesize, ISAConfig.from_quadruple((16, 2, 1, 6)))
+    assert design.netlist.num_gates > 0

@@ -1,0 +1,102 @@
+"""Multimedia application: image smoothing with overclocked inexact adders.
+
+The paper argues that the RMS relative error is the right metric because
+it is proportional to the SNR of multimedia workloads.  This example
+makes that concrete: a synthetic grayscale image is smoothed with a
+box-filter whose accumulations run on (a) an exact adder, (b) an ISA, and
+(c) an overclocked ISA, and the resulting PSNR is reported for each.
+
+The pixel accumulations are mapped onto the 32-bit adders by operating on
+fixed-point pixel sums scaled into the upper bits, which is how such
+accelerators use wide approximate adders in practice.
+
+Run with::
+
+    python examples/image_smoothing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClockPlan, ISAConfig, InexactSpeculativeAdder, synthesize
+from repro.analysis.report import format_table
+from repro.timing.event_sim import EventDrivenSimulator
+
+IMAGE_SIZE = 48
+PIXEL_SCALE = 1 << 20  # place 8-bit pixels in the upper half of the 32-bit adder
+
+
+def synthetic_image(size: int = IMAGE_SIZE, seed: int = 5) -> np.ndarray:
+    """A smooth synthetic scene (gradient + blobs) plus sensor noise, 8-bit."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size]
+    scene = 96 + 64 * np.sin(x / 7.0) * np.cos(y / 9.0) + 0.5 * x
+    noise = rng.normal(0, 6, size=(size, size))
+    return np.clip(scene + noise, 0, 255).astype(np.uint64)
+
+
+def box_filter_with_adder(image: np.ndarray, add_pairs) -> np.ndarray:
+    """3x3 box filter whose additions are delegated to ``add_pairs``.
+
+    ``add_pairs(a, b)`` must accept two uint64 arrays of scaled pixel values
+    and return their (possibly approximate) sums.
+    """
+    padded = np.pad(image, 1, mode="edge") * np.uint64(PIXEL_SCALE)
+    height, width = image.shape
+    accumulator = np.zeros((height, width), dtype=np.uint64)
+    for dy in range(3):
+        for dx in range(3):
+            window = padded[dy:dy + height, dx:dx + width]
+            accumulator = add_pairs(accumulator.ravel(), window.ravel()).reshape(height, width)
+    return (accumulator // np.uint64(9 * PIXEL_SCALE)).astype(np.float64)
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (255 full scale)."""
+    mse = float(np.mean((reference - candidate) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 ** 2 / mse)
+
+
+def main() -> None:
+    image = synthetic_image()
+    config = ISAConfig.from_quadruple((8, 0, 0, 4))
+    adder = InexactSpeculativeAdder(config)
+    plan = ClockPlan.paper()
+
+    print(f"Smoothing a {IMAGE_SIZE}x{IMAGE_SIZE} synthetic image with a 3x3 box filter")
+    print(f"Adder under test: ISA {config.name}, overclocked at "
+          f"{plan.cpr_levels[-1] * 100:g}% CPR\n")
+
+    exact_result = box_filter_with_adder(image, lambda a, b: a + b)
+    golden_result = box_filter_with_adder(image, adder.add_many)
+
+    design = synthesize(config)
+    simulator = EventDrivenSimulator(design.netlist, design.annotation)
+    period = plan.period_for(plan.cpr_levels[-1])
+
+    def overclocked_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        operands = {"A": a, "B": b, "cin": np.zeros(a.shape[0], dtype=np.uint64)}
+        # prepend a settling vector so every real addition is a simulated transition
+        padded = {key: np.concatenate([values[:1], values]) for key, values in operands.items()}
+        trace = simulator.run_trace(padded, period)
+        return trace.sampled_words
+
+    silver_result = box_filter_with_adder(image, overclocked_add)
+
+    rows = [
+        ("exact adder", f"{psnr(exact_result, exact_result)}", "reference"),
+        ("ISA (golden, properly clocked)", f"{psnr(exact_result, golden_result):.1f} dB",
+         "structural errors only"),
+        (f"ISA overclocked ({plan.cpr_levels[-1] * 100:g}% CPR)",
+         f"{psnr(exact_result, silver_result):.1f} dB", "structural + timing errors"),
+    ]
+    print(format_table(["configuration", "PSNR vs exact filter", "error sources"], rows,
+                       title="Box-filter quality with approximate/overclocked adders"))
+    print("\nPSNR above ~35-40 dB is usually considered visually lossless for 8-bit images.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Overclocking study: combine structural and timing errors for one design.
+
+Walks through the full methodology of the paper for a single ISA design:
+
+1. synthesize the design to the 0.3 ns constraint (gate sizing included),
+2. run delay-annotated timing simulation at 5/10/15 % clock-period
+   reduction,
+3. combine structural and timing errors (diamond / gold / silver outputs),
+4. train the per-bit random-forest timing-error predictor and report its
+   ABPER / AVPE,
+5. print the bit-position error distribution (the paper's Fig. 10 view).
+
+Run with::
+
+    python examples/overclocking_study.py [quadruple]   # default 8,0,0,4
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BitLevelTimingModel,
+    ClockPlan,
+    ISAConfig,
+    InexactSpeculativeAdder,
+    TimingModelOptions,
+    combine_errors,
+    synthesize,
+    uniform_workload,
+)
+from repro.analysis.distribution import bit_error_distribution
+from repro.analysis.report import format_log_value, format_table
+from repro.timing.event_sim import EventDrivenSimulator
+
+CHARACTERIZATION_VECTORS = 2500
+TRAINING_VECTORS = 1500
+
+
+def parse_quadruple(argv) -> tuple:
+    if len(argv) > 1:
+        return tuple(int(part) for part in argv[1].split(","))
+    return (8, 0, 0, 4)
+
+
+def main(argv=None) -> None:
+    quadruple = parse_quadruple(argv or sys.argv)
+    config = ISAConfig.from_quadruple(quadruple)
+    plan = ClockPlan.paper()
+
+    print(f"Synthesizing ISA {config.name} for the {plan.safe_period * 1e9:.1f} ns constraint...")
+    design = synthesize(config)
+    print(design.describe())
+
+    adder = InexactSpeculativeAdder(config)
+    simulator = EventDrivenSimulator(design.netlist, design.annotation)
+
+    trace = uniform_workload(CHARACTERIZATION_VECTORS, width=config.width, seed=21)
+    gold, structural_stats = adder.add_many_with_stats(trace.a, trace.b)
+    diamond = trace.a + trace.b
+    print(f"\nRunning delay-annotated simulation over {trace.transitions} transitions "
+          f"at {plan.labels()} CPR...")
+    timing_traces = simulator.run_trace_multi(trace.as_operands(), plan.periods)
+
+    rows = []
+    for cpr, period in plan.items():
+        errors = combine_errors(diamond[1:], gold[1:], timing_traces[period].sampled_words)
+        rms = errors.rms_relative_errors()
+        rows.append((f"{cpr * 100:g}%",
+                     format_log_value(rms["structural"] * 100),
+                     format_log_value(rms["timing"] * 100),
+                     format_log_value(rms["joint"] * 100),
+                     f"{errors.compensation_rate():.2f}"))
+    print("\n" + format_table(
+        ["CPR", "structural RMS RE (%)", "timing RMS RE (%)", "joint RMS RE (%)",
+         "compensating-cycle fraction"],
+        rows, title=f"Error combination for ISA {config.name}"))
+
+    # --- timing-error prediction (paper Section III) -------------------- #
+    train = uniform_workload(TRAINING_VECTORS, width=config.width, seed=22)
+    train_gold = adder.add_many(train.a, train.b)
+    train_timing = simulator.run_trace_multi(train.as_operands(), plan.periods)
+    prediction_rows = []
+    for cpr, period in plan.items():
+        model = BitLevelTimingModel(design=config.name, clock_period=period,
+                                    output_width=config.width + 1,
+                                    options=TimingModelOptions(n_estimators=6))
+        model.fit(train, train_gold, train_timing[period])
+        metrics = model.evaluate(trace, gold, timing_traces[period])
+        prediction_rows.append((f"{cpr * 100:g}%",
+                                format_log_value(metrics["abper"]),
+                                format_log_value(metrics["avpe"]),
+                                len(model.trained_bits)))
+    print("\n" + format_table(["CPR", "ABPER", "AVPE", "bits with classifiers"],
+                              prediction_rows,
+                              title="Bit-level timing-error prediction model"))
+
+    # --- bit-position distribution (paper Fig. 10) ---------------------- #
+    worst_period = plan.period_for(plan.cpr_levels[-1])
+    distribution = bit_error_distribution(config.name, config.width, structural_stats,
+                                          timing_traces[worst_period])
+    busy = [(position, f"{structural:.4f}", f"{timing:.4f}")
+            for position, structural, timing in distribution.rows()
+            if structural > 0 or timing > 0]
+    print("\n" + format_table(
+        ["bit position", "structural error rate", "timing error rate"], busy,
+        title=f"Bit-position error distribution at {plan.cpr_levels[-1] * 100:g}% CPR "
+              f"(dominant source: {distribution.dominant_source()})"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments where the
+PEP 660 editable-wheel path is unavailable (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Combining Structural and Timing Errors in
+Overclocked Inexact Speculative Adders" (Jiao, Camus et al., DATE 2017).
+
+The package is organised bottom-up:
+
+* :mod:`repro.core` — behavioural Inexact Speculative Adder (ISA) and
+  exact adder models plus the diamond/gold/silver error-combination
+  methodology.
+* :mod:`repro.circuit`, :mod:`repro.synth`, :mod:`repro.timing` — the
+  gate-level substrate replacing the paper's commercial synthesis and
+  SDF-annotated simulation flow.
+* :mod:`repro.ml` — the from-scratch random-forest bit-level
+  timing-error prediction model.
+* :mod:`repro.analysis`, :mod:`repro.workloads` — error metrics,
+  distributions and input workloads.
+* :mod:`repro.experiments` — drivers regenerating Figs. 7-10 of the
+  paper.
+
+Quick start::
+
+    from repro import ISAConfig, InexactSpeculativeAdder
+
+    adder = InexactSpeculativeAdder(ISAConfig.from_quadruple((8, 0, 0, 4)))
+    result = adder.add_detailed(0x1234_5678, 0x0FED_CBA9)
+    print(result.value, result.structural_error)
+"""
+
+from repro._version import __version__
+from repro.core.combination import CombinedErrors, combine_errors
+from repro.core.config import ISAConfig
+from repro.core.exact import ExactAdder
+from repro.core.isa import InexactSpeculativeAdder
+from repro.experiments.common import StudyConfig
+from repro.ml.model import BitLevelTimingModel, TimingModelOptions
+from repro.synth.flow import SynthesisOptions, SynthesizedDesign, synthesize
+from repro.timing.clocking import ClockPlan
+from repro.workloads.generators import uniform_workload
+
+__all__ = [
+    "__version__",
+    "ISAConfig",
+    "InexactSpeculativeAdder",
+    "ExactAdder",
+    "CombinedErrors",
+    "combine_errors",
+    "ClockPlan",
+    "SynthesisOptions",
+    "SynthesizedDesign",
+    "synthesize",
+    "BitLevelTimingModel",
+    "TimingModelOptions",
+    "StudyConfig",
+    "uniform_workload",
+]

@@ -1,0 +1,29 @@
+"""Error-analysis utilities: metrics, distributions and text reports."""
+
+from repro.analysis.metrics import (
+    ErrorStatistics,
+    error_rate,
+    error_statistics,
+    mean_error_distance,
+    mean_relative_error_distance,
+    normalized_mean_error_distance,
+    rms_relative_error,
+    worst_case_error,
+)
+from repro.analysis.distribution import BitErrorDistribution, bit_error_distribution
+from repro.analysis.report import format_table, format_log_value
+
+__all__ = [
+    "ErrorStatistics",
+    "error_statistics",
+    "error_rate",
+    "mean_error_distance",
+    "mean_relative_error_distance",
+    "normalized_mean_error_distance",
+    "rms_relative_error",
+    "worst_case_error",
+    "BitErrorDistribution",
+    "bit_error_distribution",
+    "format_table",
+    "format_log_value",
+]

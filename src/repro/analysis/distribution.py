@@ -1,0 +1,73 @@
+"""Bit-position error distributions (the analysis behind Fig. 10).
+
+Two series are combined:
+
+* the **structural** distribution comes from the behavioural ISA model,
+  which attributes every uncompensated speculation fault to the
+  bit-position equivalent of its residual arithmetic error;
+* the **timing** distribution is the per-bit error rate extracted from
+  the over-clocked timing simulation (latched bit differs from settled
+  bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.isa import StructuralFaultStats
+from repro.exceptions import AnalysisError
+from repro.timing.errors import TimingErrorTrace
+
+
+@dataclass(frozen=True)
+class BitErrorDistribution:
+    """Per-bit-position internal error rates of one overclocked design."""
+
+    design: str
+    clock_period: Optional[float]
+    width: int
+    structural: np.ndarray
+    timing: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.structural.shape != self.timing.shape:
+            raise AnalysisError("structural and timing series must have the same length")
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Bit-position axis (0 = LSB)."""
+        return np.arange(self.structural.shape[0])
+
+    def dominant_source(self) -> str:
+        """Which error source dominates overall ("structural", "timing" or "balanced")."""
+        structural_mass = float(self.structural.sum())
+        timing_mass = float(self.timing.sum())
+        if structural_mass == 0 and timing_mass == 0:
+            return "none"
+        larger, smaller = max(structural_mass, timing_mass), min(structural_mass, timing_mass)
+        if smaller > 0 and larger / smaller < 3.0:
+            return "balanced"
+        return "structural" if structural_mass >= timing_mass else "timing"
+
+    def rows(self):
+        """Iterate (position, structural rate, timing rate) rows for tabulation."""
+        for position in self.positions:
+            yield int(position), float(self.structural[position]), float(self.timing[position])
+
+
+def bit_error_distribution(design: str, width: int,
+                           structural_stats: StructuralFaultStats,
+                           timing_trace: TimingErrorTrace) -> BitErrorDistribution:
+    """Build the Fig. 10 distribution from behavioural and timing results."""
+    length = width + 1
+    structural = np.zeros(length)
+    counts = structural_stats.error_rate_by_position
+    structural[:min(length, counts.shape[0])] = counts[:length]
+    timing = np.zeros(length)
+    rates = timing_trace.bit_error_rate()
+    timing[:min(length, rates.shape[0])] = rates[:length]
+    return BitErrorDistribution(design=design, clock_period=timing_trace.clock_period,
+                                width=width, structural=structural, timing=timing)

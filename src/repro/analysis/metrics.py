@@ -1,0 +1,125 @@
+"""Approximate-arithmetic error metrics.
+
+The paper's headline metric is the RMS of the relative error (it is
+proportional to the output SNR, the quantity that matters for multimedia
+workloads); the other metrics are the standard figures of merit used in
+the approximate-computing literature (error rate, mean/normalised error
+distance, worst case) and are reported by the examples and the
+design-space-exploration benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+
+def _validate(exact: np.ndarray, approximate: np.ndarray) -> None:
+    if exact.shape != approximate.shape:
+        raise AnalysisError(f"shape mismatch: exact {exact.shape} vs approximate {approximate.shape}")
+    if exact.size == 0:
+        raise AnalysisError("error metrics need at least one sample")
+
+
+def _signed(values: ArrayLike) -> np.ndarray:
+    return np.asarray(values).astype(np.int64)
+
+
+def _relative(exact: np.ndarray, approximate: np.ndarray) -> np.ndarray:
+    denominator = np.where(exact == 0, np.int64(1), exact).astype(np.float64)
+    return (approximate - exact) / denominator
+
+
+def error_rate(exact: ArrayLike, approximate: ArrayLike) -> float:
+    """Fraction of samples whose approximate value differs from the exact one."""
+    exact, approximate = _signed(exact), _signed(approximate)
+    _validate(exact, approximate)
+    return float(np.mean(exact != approximate))
+
+
+def mean_error_distance(exact: ArrayLike, approximate: ArrayLike) -> float:
+    """Mean absolute arithmetic error (MED)."""
+    exact, approximate = _signed(exact), _signed(approximate)
+    _validate(exact, approximate)
+    return float(np.mean(np.abs(approximate - exact)))
+
+
+def normalized_mean_error_distance(exact: ArrayLike, approximate: ArrayLike,
+                                   width: int) -> float:
+    """MED normalised by the maximum representable output (NMED)."""
+    if width <= 0:
+        raise AnalysisError(f"width must be positive, got {width}")
+    return mean_error_distance(exact, approximate) / float(2 ** width)
+
+
+def mean_relative_error_distance(exact: ArrayLike, approximate: ArrayLike) -> float:
+    """Mean absolute relative error (MRED)."""
+    exact, approximate = _signed(exact), _signed(approximate)
+    _validate(exact, approximate)
+    return float(np.mean(np.abs(_relative(exact, approximate))))
+
+
+def rms_relative_error(exact: ArrayLike, approximate: ArrayLike) -> float:
+    """Root-mean-square of the signed relative error — the paper's main metric."""
+    exact, approximate = _signed(exact), _signed(approximate)
+    _validate(exact, approximate)
+    return float(np.sqrt(np.mean(_relative(exact, approximate) ** 2)))
+
+
+def worst_case_error(exact: ArrayLike, approximate: ArrayLike) -> int:
+    """Largest absolute arithmetic error observed."""
+    exact, approximate = _signed(exact), _signed(approximate)
+    _validate(exact, approximate)
+    return int(np.max(np.abs(approximate - exact)))
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Bundle of all error metrics for one (design, workload) pair."""
+
+    samples: int
+    error_rate: float
+    mean_error_distance: float
+    normalized_mean_error_distance: float
+    mean_relative_error_distance: float
+    rms_relative_error: float
+    worst_case_error: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (useful for tabulation and JSON export)."""
+        return {
+            "samples": self.samples,
+            "error_rate": self.error_rate,
+            "med": self.mean_error_distance,
+            "nmed": self.normalized_mean_error_distance,
+            "mred": self.mean_relative_error_distance,
+            "rms_re": self.rms_relative_error,
+            "worst_case": self.worst_case_error,
+        }
+
+    def snr_db(self) -> float:
+        """Signal-to-noise ratio implied by the RMS relative error, in dB."""
+        if self.rms_relative_error == 0:
+            return float("inf")
+        return float(-20.0 * np.log10(self.rms_relative_error))
+
+
+def error_statistics(exact: ArrayLike, approximate: ArrayLike, width: int = 32) -> ErrorStatistics:
+    """Compute every metric at once over a batch of outputs."""
+    exact_arr, approx_arr = _signed(exact), _signed(approximate)
+    _validate(exact_arr, approx_arr)
+    return ErrorStatistics(
+        samples=int(exact_arr.shape[0]),
+        error_rate=error_rate(exact_arr, approx_arr),
+        mean_error_distance=mean_error_distance(exact_arr, approx_arr),
+        normalized_mean_error_distance=normalized_mean_error_distance(exact_arr, approx_arr, width),
+        mean_relative_error_distance=mean_relative_error_distance(exact_arr, approx_arr),
+        rms_relative_error=rms_relative_error(exact_arr, approx_arr),
+        worst_case_error=worst_case_error(exact_arr, approx_arr),
+    )

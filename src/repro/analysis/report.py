@@ -1,0 +1,44 @@
+"""Plain-text tabulation helpers used by experiments, examples and benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import AnalysisError
+from repro.ml.metrics import LOG_FLOOR
+
+
+def format_log_value(value: float, floor: float = LOG_FLOOR) -> str:
+    """Format a metric the way the paper's log-scale figures display it.
+
+    Values below the floor (including exact zeros) are shown as the floor,
+    matching the paper's convention of plotting 1e-6 for error-free cases.
+    """
+    return f"{max(float(value), floor):.2e}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table (no external dependencies)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Gate-level circuit substrate: cells, library, netlists, delay annotation.
+
+This package replaces the paper's commercial synthesis/simulation stack
+(Design Compiler netlists + SDF + ModelSim) with a self-contained model:
+
+* :mod:`~repro.circuit.cells` — functional models of a small standard-cell
+  set (INV/NAND/XOR/MUX/...).
+* :mod:`~repro.circuit.library` — a 65 nm-like technology library giving
+  each cell a nominal delay and legal sizing range.
+* :mod:`~repro.circuit.netlist` — the netlist graph (nets, gate instances,
+  primary IOs) plus zero-delay logic evaluation.
+* :mod:`~repro.circuit.builder` — convenience API for writing generators.
+* :mod:`~repro.circuit.sdf` — per-instance delay annotation (a minimal
+  SDF equivalent) with a text serialisation.
+* :mod:`~repro.circuit.validate` — structural legality checks.
+"""
+
+from repro.circuit.cells import CELLS, Cell, cell
+from repro.circuit.library import CellTiming, TechnologyLibrary, default_library
+from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.sdf import DelayAnnotation
+from repro.circuit.validate import check_netlist
+
+__all__ = [
+    "CELLS",
+    "Cell",
+    "cell",
+    "CellTiming",
+    "TechnologyLibrary",
+    "default_library",
+    "CONST0",
+    "CONST1",
+    "Gate",
+    "Netlist",
+    "NetlistBuilder",
+    "DelayAnnotation",
+    "check_netlist",
+]

@@ -1,0 +1,165 @@
+"""Convenience wrapper for writing netlist generators.
+
+The adder generators in :mod:`repro.synth` build netlists gate by gate.
+:class:`NetlistBuilder` removes the boilerplate of inventing unique net
+and gate names and provides small logic idioms (buffered constants,
+word-wide buses, half/full adders) so the generators read close to the
+block diagrams they implement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import CONST0, CONST1, Netlist
+from repro.exceptions import NetlistError
+
+
+class NetlistBuilder:
+    """Incrementally build a :class:`~repro.circuit.netlist.Netlist`."""
+
+    def __init__(self, name: str) -> None:
+        self.netlist = Netlist(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Naming helpers
+    # ------------------------------------------------------------------ #
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def input_bus(self, name: str, width: int) -> List[str]:
+        """Declare a ``width``-bit primary-input bus (LSB first) and return its nets."""
+        nets = [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+        self.netlist.register_bus(name, nets)
+        return nets
+
+    def input_bit(self, name: str) -> str:
+        """Declare a single primary-input net."""
+        return self.netlist.add_input(name)
+
+    def output_bus(self, name: str, nets: Sequence[str]) -> None:
+        """Register ``nets`` (LSB first) as the output bus ``name`` and as primary outputs."""
+        for net in nets:
+            self.netlist.add_output(net)
+        self.netlist.register_bus(name, list(nets))
+
+    def gate(self, cell: str, *inputs: str, name: Optional[str] = None,
+             output: Optional[str] = None) -> str:
+        """Instantiate a cell and return the name of the net it drives."""
+        gate_name = name or self._fresh(f"u_{cell.lower()}")
+        output_net = output or self._fresh(f"n_{cell.lower()}")
+        self.netlist.add_gate(gate_name, cell, list(inputs), output_net)
+        return output_net
+
+    # ------------------------------------------------------------------ #
+    # Logic idioms
+    # ------------------------------------------------------------------ #
+    @property
+    def zero(self) -> str:
+        """The constant-0 net."""
+        return CONST0
+
+    @property
+    def one(self) -> str:
+        """The constant-1 net."""
+        return CONST1
+
+    def const(self, value: int) -> str:
+        """Constant net for a 0/1 value."""
+        if value not in (0, 1):
+            raise NetlistError(f"constant must be 0 or 1, got {value}")
+        return CONST1 if value else CONST0
+
+    def inv(self, a: str) -> str:
+        """Inverter."""
+        return self.gate("INV", a)
+
+    def and2(self, a: str, b: str) -> str:
+        """2-input AND."""
+        return self.gate("AND2", a, b)
+
+    def or2(self, a: str, b: str) -> str:
+        """2-input OR."""
+        return self.gate("OR2", a, b)
+
+    def xor2(self, a: str, b: str) -> str:
+        """2-input XOR."""
+        return self.gate("XOR2", a, b)
+
+    def mux2(self, d0: str, d1: str, sel: str) -> str:
+        """2:1 multiplexer (``sel`` = 1 selects ``d1``)."""
+        return self.gate("MUX2", d0, d1, sel)
+
+    def and_tree(self, nets: Sequence[str]) -> str:
+        """Balanced AND of an arbitrary number of nets."""
+        return self._tree("AND2", "AND3", nets, identity=self.one)
+
+    def or_tree(self, nets: Sequence[str]) -> str:
+        """Balanced OR of an arbitrary number of nets."""
+        return self._tree("OR2", "OR3", nets, identity=self.zero)
+
+    def _tree(self, cell2: str, cell3: str, nets: Sequence[str], identity: str) -> str:
+        nets = list(nets)
+        if not nets:
+            return identity
+        while len(nets) > 1:
+            next_level: List[str] = []
+            index = 0
+            while index < len(nets):
+                remaining = len(nets) - index
+                if remaining == 3:
+                    next_level.append(self.gate(cell3, nets[index], nets[index + 1], nets[index + 2]))
+                    index += 3
+                elif remaining >= 2:
+                    next_level.append(self.gate(cell2, nets[index], nets[index + 1]))
+                    index += 2
+                else:
+                    next_level.append(nets[index])
+                    index += 1
+            nets = next_level
+        return nets[0]
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Half adder returning ``(sum, carry)`` nets."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Full adder returning ``(sum, carry)`` nets (majority-gate carry)."""
+        partial = self.xor2(a, b)
+        total = self.xor2(partial, cin)
+        carry = self.gate("MAJ3", a, b, cin)
+        return total, carry
+
+    def incrementer(self, bits: Sequence[str], enable: str) -> List[str]:
+        """Conditionally add 1 to a small bit field (ripple of half adders).
+
+        Used by the ISA correction logic: when ``enable`` is 1, the
+        returned field equals ``bits + 1`` truncated to the field width;
+        otherwise it equals ``bits``.
+        """
+        carry = enable
+        result: List[str] = []
+        for index, bit in enumerate(bits):
+            result.append(self.xor2(bit, carry))
+            if index < len(bits) - 1:
+                carry = self.and2(bit, carry)
+        return result
+
+    def decrementer(self, bits: Sequence[str], enable: str) -> List[str]:
+        """Conditionally subtract 1 from a small bit field (borrow ripple)."""
+        borrow = enable
+        result: List[str] = []
+        for index, bit in enumerate(bits):
+            result.append(self.xor2(bit, borrow))
+            if index < len(bits) - 1:
+                borrow = self.and2(self.inv(bit), borrow)
+        return result
+
+    def build(self) -> Netlist:
+        """Finalize and return the netlist."""
+        return self.netlist

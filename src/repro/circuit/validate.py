@@ -1,0 +1,97 @@
+"""Structural legality checks for netlists.
+
+``check_netlist`` is run by the synthesis flow on every generated design
+and by the test suite; it catches the classes of bugs that silently
+corrupt downstream timing analysis (floating nets, multiply-driven nets,
+dangling logic, non-topological ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.circuit.netlist import CONST0, CONST1, Netlist
+from repro.exceptions import NetlistError
+
+
+@dataclass
+class NetlistReport:
+    """Outcome of validating a netlist."""
+
+    design: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    logic_depth: int
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no warnings were recorded."""
+        return not self.warnings
+
+
+def check_netlist(netlist: Netlist, allow_unused_inputs: bool = False,
+                  strict: bool = True) -> NetlistReport:
+    """Validate the structural sanity of ``netlist``.
+
+    Checks performed:
+
+    * every gate input is driven (a primary input, constant, or gate output),
+    * no net is driven twice (guaranteed by construction, re-checked here),
+    * every primary output exists,
+    * the gate list is topologically ordered,
+    * no combinational logic is dangling (drives nothing and is not an output),
+    * primary inputs are used (warning only, unless ``allow_unused_inputs``).
+
+    With ``strict=True`` (default) warnings other than unused inputs raise
+    :class:`~repro.exceptions.NetlistError`.
+    """
+    warnings: List[str] = []
+
+    driven = set(netlist.inputs) | {CONST0, CONST1}
+    drivers_seen = set()
+    for gate in netlist.gates:
+        if gate.output in drivers_seen:
+            raise NetlistError(f"net {gate.output!r} driven by more than one gate")
+        drivers_seen.add(gate.output)
+
+    # topological order + driven-ness (raises on violation)
+    netlist.topological_order()
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            if net not in driven and netlist.driver_of(net) is None:
+                raise NetlistError(f"gate {gate.name!r} reads floating net {net!r}")
+        driven.add(gate.output)
+
+    for net in netlist.outputs:
+        if net not in driven:
+            raise NetlistError(f"primary output {net!r} is not driven")
+
+    # dangling logic
+    fanout = netlist.fanout_map()
+    output_set = set(netlist.outputs)
+    dangling = [gate.name for gate in netlist.gates
+                if not fanout[gate.output] and gate.output not in output_set]
+    if dangling:
+        warnings.append(f"{len(dangling)} gate(s) drive nets that are never used "
+                        f"(e.g. {dangling[:3]})")
+
+    unused_inputs = [net for net in netlist.inputs
+                     if not fanout[net] and net not in output_set]
+    if unused_inputs and not allow_unused_inputs:
+        warnings.append(f"{len(unused_inputs)} primary input(s) are never read "
+                        f"(e.g. {unused_inputs[:3]})")
+
+    report = NetlistReport(
+        design=netlist.name,
+        num_gates=netlist.num_gates,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        logic_depth=netlist.logic_depth(),
+        warnings=warnings,
+    )
+    if strict and dangling:
+        raise NetlistError(f"netlist {netlist.name!r} has dangling logic: {dangling[:5]}")
+    return report

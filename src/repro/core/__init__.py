@@ -1,0 +1,32 @@
+"""Behavioural models of the paper's adders and the error-combination flow.
+
+This package contains the paper's primary contribution at behavioural
+level:
+
+* :class:`~repro.core.config.ISAConfig` — the (block size, SPEC size,
+  correction, reduction) quadruple describing an Inexact Speculative
+  Adder (ISA).
+* :class:`~repro.core.isa.InexactSpeculativeAdder` — scalar and
+  vectorised behavioural model producing the *golden* output (structural
+  errors only).
+* :class:`~repro.core.exact.ExactAdder` — the *diamond* reference.
+* :mod:`~repro.core.combination` — the diamond/gold/silver error
+  combination methodology of Section IV of the paper.
+"""
+
+from repro.core.config import ISAConfig
+from repro.core.exact import ExactAdder
+from repro.core.isa import BlockRecord, InexactSpeculativeAdder, ISAAdditionResult, StructuralFaultStats
+from repro.core.combination import CombinedErrors, combine_errors, relative_errors
+
+__all__ = [
+    "ISAConfig",
+    "ExactAdder",
+    "InexactSpeculativeAdder",
+    "ISAAdditionResult",
+    "BlockRecord",
+    "StructuralFaultStats",
+    "CombinedErrors",
+    "combine_errors",
+    "relative_errors",
+]

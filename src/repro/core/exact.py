@@ -1,0 +1,63 @@
+"""Exact (diamond) adder reference model."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bitops import mask
+from repro.utils.validation import check_positive_int
+
+IntOrArray = Union[int, np.ndarray]
+
+
+class ExactAdder:
+    """Bit-exact unsigned adder producing a ``width + 1``-bit result.
+
+    This is the *diamond* reference of the paper's error-combination
+    methodology: the value an ideal, error-free adder would output.
+    """
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = check_positive_int("width", width)
+        if width > 62:
+            raise ConfigurationError(
+                "ExactAdder supports widths up to 62 bits so vectorised sums fit in uint64")
+
+    def add(self, a: int, b: int, cin: int = 0) -> int:
+        """Exact sum of two ``width``-bit unsigned operands plus carry in."""
+        self._check_operand(a, "a")
+        self._check_operand(b, "b")
+        if cin not in (0, 1):
+            raise ConfigurationError(f"cin must be 0 or 1, got {cin}")
+        return int(a) + int(b) + cin
+
+    def add_many(self, a: np.ndarray, b: np.ndarray, cin: int = 0) -> np.ndarray:
+        """Vectorised exact sums of ``uint64`` operand arrays."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if a.shape != b.shape:
+            raise ConfigurationError(f"operand shapes differ: {a.shape} vs {b.shape}")
+        limit = np.uint64(mask(self.width))
+        if a.size and (a.max() > limit or b.max() > limit):
+            raise ConfigurationError(f"operands exceed {self.width}-bit range")
+        if cin not in (0, 1):
+            raise ConfigurationError(f"cin must be 0 or 1, got {cin}")
+        return a + b + np.uint64(cin)
+
+    @property
+    def result_width(self) -> int:
+        """Width of the result including the final carry out."""
+        return self.width + 1
+
+    @property
+    def name(self) -> str:
+        """Display name used in reports and figures (mirrors the paper's "exact")."""
+        return "exact"
+
+    def _check_operand(self, value: int, label: str) -> None:
+        if not 0 <= int(value) <= mask(self.width):
+            raise ConfigurationError(
+                f"operand {label}={value!r} outside the unsigned {self.width}-bit range")

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library-level failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An adder or experiment configuration is invalid or inconsistent."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (unknown nets, cycles, bad arity)."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis flow could not produce a legal, constraint-meeting netlist."""
+
+
+class TimingError(ReproError):
+    """A timing analysis or timing simulation request is invalid."""
+
+
+class SimulationError(ReproError):
+    """A logic or timing simulation failed (unresolved nets, bad stimulus)."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model is used before fitting or with bad shapes."""
+
+
+class WorkloadError(ReproError):
+    """An input workload/trace request is invalid."""
+
+
+class AnalysisError(ReproError):
+    """An error-analysis computation received inconsistent data."""

@@ -1,0 +1,181 @@
+"""Shared machinery of the experiment drivers.
+
+``StudyConfig`` gathers every knob of the reproduction (trace lengths,
+clock plan, simulator choice, synthesis and model options) with defaults
+scaled so a full run finishes in minutes on a laptop; trace lengths can
+be raised towards the paper's ten-million-vector characterisation when
+more fidelity is wanted.
+
+``characterize_design`` performs the per-design heavy lifting shared by
+all figures: synthesize the netlist, compute diamond/golden outputs, and
+run the delay-annotated timing simulation at every clock period of the
+plan.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import ISAConfig
+from repro.core.exact import ExactAdder
+from repro.core.isa import InexactSpeculativeAdder, StructuralFaultStats
+from repro.exceptions import ConfigurationError
+from repro.experiments.designs import DesignEntry, paper_design_entries
+from repro.ml.model import TimingModelOptions
+from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_netlist, synthesize
+from repro.timing.clocking import ClockPlan
+from repro.timing.errors import TimingErrorTrace
+from repro.timing.event_sim import EventDrivenSimulator
+from repro.timing.fast_sim import FastTimingSimulator
+from repro.workloads.generators import uniform_workload
+from repro.workloads.traces import OperandTrace
+
+#: Environment variable that scales every default trace length (used by the
+#: benchmark harness to trade fidelity for runtime).
+TRACE_SCALE_ENV = "REPRO_TRACE_SCALE"
+
+SIMULATORS = ("event", "fast")
+
+
+def _scaled(length: int) -> int:
+    scale = float(os.environ.get(TRACE_SCALE_ENV, "1.0"))
+    return max(int(length * scale), 16)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration of a full reproduction study."""
+
+    width: int = 32
+    characterization_length: int = 4000
+    training_length: int = 2500
+    evaluation_length: int = 2500
+    seed: int = 7
+    simulator: str = "event"
+    clock_plan: ClockPlan = field(default_factory=ClockPlan.paper)
+    synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
+    model: TimingModelOptions = field(default_factory=TimingModelOptions)
+
+    def __post_init__(self) -> None:
+        if self.simulator not in SIMULATORS:
+            raise ConfigurationError(
+                f"simulator must be one of {SIMULATORS}, got {self.simulator!r}")
+        for name in ("characterization_length", "training_length", "evaluation_length"):
+            if getattr(self, name) < 16:
+                raise ConfigurationError(f"{name} must be at least 16 vectors")
+
+    # ------------------------------------------------------------------ #
+    def design_entries(self) -> List[DesignEntry]:
+        """The twelve paper designs at this study's width."""
+        return paper_design_entries(self.width)
+
+    def characterization_trace(self) -> OperandTrace:
+        """Random trace used for error characterisation (Figs. 9 and 10)."""
+        return uniform_workload(_scaled(self.characterization_length), width=self.width,
+                                seed=self.seed)
+
+    def training_trace(self) -> OperandTrace:
+        """Random trace used to train the prediction model (Figs. 7 and 8)."""
+        return uniform_workload(_scaled(self.training_length), width=self.width,
+                                seed=self.seed + 1)
+
+    def evaluation_trace(self) -> OperandTrace:
+        """Held-out random trace used to evaluate the prediction model."""
+        return uniform_workload(_scaled(self.evaluation_length), width=self.width,
+                                seed=self.seed + 2)
+
+    def scaled_down(self, factor: float) -> "StudyConfig":
+        """A copy with every trace length multiplied by ``factor`` (for quick runs)."""
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            characterization_length=max(int(self.characterization_length * factor), 16),
+            training_length=max(int(self.training_length * factor), 16),
+            evaluation_length=max(int(self.evaluation_length * factor), 16),
+        )
+
+
+@dataclass
+class DesignCharacterization:
+    """Everything the experiments need to know about one synthesized design."""
+
+    entry: DesignEntry
+    synthesized: SynthesizedDesign
+    trace: OperandTrace
+    diamond_words: np.ndarray
+    gold_words: np.ndarray
+    timing_traces: Dict[float, TimingErrorTrace]
+    structural_stats: Optional[StructuralFaultStats] = None
+
+    @property
+    def name(self) -> str:
+        """Design label as used in the paper's figures."""
+        return self.entry.name
+
+    def timing_trace(self, clock_period: float) -> TimingErrorTrace:
+        """Timing-simulation result at one clock period of the plan."""
+        try:
+            return self.timing_traces[clock_period]
+        except KeyError:
+            raise ConfigurationError(
+                f"design {self.name} was not simulated at clock period {clock_period}") from None
+
+
+def golden_model(entry: DesignEntry, width: int):
+    """Behavioural golden model of a design entry (ISA or exact adder)."""
+    if entry.is_exact:
+        return ExactAdder(width)
+    return InexactSpeculativeAdder(entry.config)
+
+
+def synthesize_entry(entry: DesignEntry, width: int,
+                     options: SynthesisOptions) -> SynthesizedDesign:
+    """Synthesize one design entry with the study's flow options."""
+    if entry.is_exact:
+        return synthesize(exact_adder_netlist(width, options.adder_architecture), options)
+    return synthesize(entry.config, options)
+
+
+def make_simulator(kind: str, synthesized: SynthesizedDesign):
+    """Instantiate the requested timing simulator for a synthesized design."""
+    if kind == "event":
+        return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
+    if kind == "fast":
+        return FastTimingSimulator(synthesized.netlist, synthesized.annotation)
+    raise ConfigurationError(f"unknown simulator kind {kind!r}")
+
+
+def characterize_design(entry: DesignEntry, trace: OperandTrace, config: StudyConfig,
+                        collect_structural_stats: bool = False) -> DesignCharacterization:
+    """Synthesize and simulate one design over a trace at every CPR level."""
+    synthesized = synthesize_entry(entry, config.width, config.synthesis)
+    exact = ExactAdder(config.width)
+    diamond = exact.add_many(trace.a, trace.b)
+
+    structural_stats = None
+    if entry.is_exact:
+        gold = diamond.copy()
+    else:
+        model = InexactSpeculativeAdder(entry.config)
+        if collect_structural_stats:
+            gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
+        else:
+            gold = model.add_many(trace.a, trace.b)
+
+    simulator = make_simulator(config.simulator, synthesized)
+    timing_traces = simulator.run_trace_multi(trace.as_operands(), config.clock_plan.periods)
+
+    return DesignCharacterization(
+        entry=entry,
+        synthesized=synthesized,
+        trace=trace,
+        diamond_words=diamond,
+        gold_words=gold,
+        timing_traces=timing_traces,
+        structural_stats=structural_stats,
+    )

@@ -1,0 +1,66 @@
+"""The adder designs evaluated in the paper.
+
+Section V-A of the paper selects ISA designs with regular structures
+(2x16, 4x8 and 8x4-bit parallel paths) denoted by quadruples of
+bit-widths (block size, SPEC size, correction, reduction), and confronts
+them with an exact adder constrained at the same 0.3 ns.  The figures
+label eleven ISA configurations plus the exact baseline; these are the
+entries reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import ISAConfig
+
+#: The eleven ISA quadruples named in Figs. 7-9 of the paper, left to right.
+PAPER_QUADRUPLES: Tuple[Tuple[int, int, int, int], ...] = (
+    (8, 0, 0, 0),
+    (8, 0, 0, 2),
+    (8, 0, 0, 4),
+    (8, 0, 1, 4),
+    (8, 0, 1, 6),
+    (16, 0, 0, 0),
+    (16, 1, 0, 0),
+    (16, 1, 0, 2),
+    (16, 2, 0, 4),
+    (16, 2, 1, 6),
+    (16, 7, 0, 8),
+)
+
+#: The design studied in Fig. 10 (best structural/timing error balance at 15 % CPR).
+FIG10_QUADRUPLE: Tuple[int, int, int, int] = (8, 0, 0, 4)
+
+
+@dataclass(frozen=True)
+class DesignEntry:
+    """One column of the paper's figures: either an ISA configuration or the exact adder."""
+
+    name: str
+    config: Optional[ISAConfig]
+
+    @property
+    def is_exact(self) -> bool:
+        """True for the exact (conventional) adder baseline."""
+        return self.config is None
+
+
+def exact_entry(width: int = 32) -> DesignEntry:
+    """The exact-adder baseline column (labelled "exact" in the figures)."""
+    return DesignEntry(name="exact", config=None)
+
+
+def isa_entry(quadruple: Sequence[int], width: int = 32) -> DesignEntry:
+    """A single ISA column from its quadruple notation."""
+    config = ISAConfig.from_quadruple(tuple(quadruple), width=width)
+    return DesignEntry(name=config.name, config=config)
+
+
+def paper_design_entries(width: int = 32, include_exact: bool = True) -> List[DesignEntry]:
+    """All columns of the paper's figures, in the paper's left-to-right order."""
+    entries = [isa_entry(quadruple, width) for quadruple in PAPER_QUADRUPLES]
+    if include_exact:
+        entries.append(exact_entry(width))
+    return entries

@@ -1,0 +1,103 @@
+"""Command-line runner regenerating every figure of the paper.
+
+``repro-experiments`` (installed as a console script) runs the Fig. 7/8
+prediction study, the Fig. 9 error-combination sweep and the Fig. 10
+distribution analysis, printing the paper-equivalent tables and
+optionally writing them to a results file.
+
+Example::
+
+    repro-experiments --scale 0.5 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.config import ISAConfig
+from repro.experiments.common import StudyConfig, characterize_design
+from repro.experiments.designs import FIG10_QUADRUPLE, DesignEntry
+from repro.experiments.fig9_rms import run_fig9
+from repro.experiments.fig10_distribution import run_fig10
+from repro.experiments.prediction import run_prediction_study
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``repro-experiments`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Combining Structural and Timing Errors in "
+                    "Overclocked Inexact Speculative Adders' (DATE 2017)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor applied to every trace length (default 1.0)")
+    parser.add_argument("--simulator", choices=("event", "fast"), default="event",
+                        help="timing simulator: glitch-aware event-driven (default) or fast "
+                             "no-glitch vectorised")
+    parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
+                        choices=["fig7", "fig8", "fig9", "fig10"],
+                        help="which figures to regenerate")
+    parser.add_argument("--output", type=str, default=None,
+                        help="optional path for the text report (stdout is always printed)")
+    return parser
+
+
+def run_all(config: StudyConfig, figures: List[str]) -> str:
+    """Run the requested figures and return the combined text report."""
+    sections: List[str] = []
+    started = time.time()
+
+    if "fig7" in figures or "fig8" in figures:
+        study = run_prediction_study(config)
+        if "fig7" in figures:
+            sections.append(study.format_abper_table())
+        if "fig8" in figures:
+            sections.append(study.format_avpe_table())
+
+    characterizations = None
+    if "fig9" in figures or "fig10" in figures:
+        trace = config.characterization_trace()
+        characterizations = []
+        for entry in config.design_entries():
+            collect = entry.name == ISAConfig.from_quadruple(FIG10_QUADRUPLE).name
+            characterizations.append(
+                characterize_design(entry, trace, config, collect_structural_stats=collect))
+
+    if "fig9" in figures:
+        sections.append(run_fig9(config, characterizations=characterizations).format_table())
+
+    if "fig10" in figures:
+        fig10_characterization = None
+        if characterizations is not None:
+            target = ISAConfig.from_quadruple(FIG10_QUADRUPLE).name
+            for characterization in characterizations:
+                if characterization.name == target:
+                    fig10_characterization = characterization
+                    break
+        sections.append(run_fig10(config, characterization=fig10_characterization).format_table())
+
+    elapsed = time.time() - started
+    sections.append(f"(regenerated {', '.join(figures)} in {elapsed:.1f} s, "
+                    f"simulator={config.simulator}, seed={config.seed})")
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    arguments = build_parser().parse_args(argv)
+    config = StudyConfig(simulator=arguments.simulator, seed=arguments.seed)
+    if arguments.scale != 1.0:
+        config = config.scaled_down(arguments.scale)
+    report = run_all(config, arguments.figures)
+    print(report)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Supervised-learning substrate for bit-level timing-error prediction.
+
+The paper trains one binary classifier per output bit (a scikit-learn
+random forest) on features derived from consecutive input vectors and the
+RTL outputs, to predict whether that bit is timing-erroneous at a given
+overclocked period.  Because this reproduction is fully self-contained,
+the decision-tree and random-forest learners are implemented from scratch
+on NumPy in :mod:`repro.ml.tree` and :mod:`repro.ml.forest`; the
+feature construction, the per-bit model and the ABPER/AVPE evaluation
+metrics mirror Sections III and IV-B of the paper.
+"""
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.features import FEATURE_DOC, build_feature_matrix, feature_names
+from repro.ml.dataset import BitDataset, build_bit_datasets
+from repro.ml.model import BitLevelTimingModel, TimingModelOptions
+from repro.ml.metrics import abper, avpe, classification_summary
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "FEATURE_DOC",
+    "build_feature_matrix",
+    "feature_names",
+    "BitDataset",
+    "build_bit_datasets",
+    "BitLevelTimingModel",
+    "TimingModelOptions",
+    "abper",
+    "avpe",
+    "classification_summary",
+]

@@ -1,0 +1,79 @@
+"""Dataset assembly for the per-bit timing-error classifiers.
+
+This module corresponds to the "Data Collection" half of Fig. 3 of the
+paper: pair the operand trace (stimulus) with the golden outputs (RTL
+reference) and the delay-annotated gate-level simulation outcome (timing
+classes at an unsafe clock period), and turn them into one labelled
+dataset per output bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.features import build_feature_matrix
+from repro.timing.errors import TimingErrorTrace
+from repro.workloads.traces import OperandTrace
+
+
+@dataclass(frozen=True)
+class BitDataset:
+    """Labelled training data for one output-bit classifier.
+
+    ``labels`` follow the paper's convention: 1 = timing-erroneous,
+    0 = timing-correct (the classifier learns to flag errors).
+    """
+
+    bit: int
+    features: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def samples(self) -> int:
+        """Number of labelled transitions."""
+        return int(self.features.shape[0])
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of transitions where this bit was timing-erroneous."""
+        if self.samples == 0:
+            return 0.0
+        return float(self.labels.mean())
+
+
+def build_bit_datasets(trace: OperandTrace, gold_words: np.ndarray,
+                       timing_trace: TimingErrorTrace) -> List[BitDataset]:
+    """One :class:`BitDataset` per output bit of the adder.
+
+    Parameters
+    ----------
+    trace:
+        The stimulus applied to the circuit (length ``T``).
+    gold_words:
+        Golden outputs of the implemented adder for every vector
+        (length ``T``).
+    timing_trace:
+        Result of simulating the ``T - 1`` transitions at the unsafe
+        clock period under study.
+    """
+    gold_words = np.asarray(gold_words, dtype=np.uint64)
+    if timing_trace.cycles != trace.transitions:
+        raise ModelError(
+            f"timing trace has {timing_trace.cycles} transitions but the stimulus "
+            f"has {trace.transitions}")
+    error_bits = timing_trace.error_bits()
+    datasets: List[BitDataset] = []
+    for bit in range(timing_trace.output_width):
+        features = build_feature_matrix(trace, gold_words, bit)
+        labels = error_bits[:, bit].astype(np.uint8)
+        datasets.append(BitDataset(bit=bit, features=features, labels=labels))
+    return datasets
+
+
+def dataset_summary(datasets: List[BitDataset]) -> Dict[int, float]:
+    """Per-bit timing-error rates of a dataset collection (diagnostic helper)."""
+    return {dataset.bit: dataset.error_rate for dataset in datasets}

@@ -1,0 +1,92 @@
+"""Evaluation metrics of the timing-error prediction model.
+
+Two metrics follow the paper directly:
+
+* **ABPER** (average bit-level prediction error rate, Eq. 1): the mean,
+  over bits and cycles, of the disagreement between predicted and real
+  timing classes.
+* **AVPE** (average value-level predictive error, Eq. 4): the mean, over
+  cycles, of the relative deviation between the predicted and real silver
+  output values.
+
+Both figures in the paper clamp values below 1e-6 to 1e-6 so they remain
+visible on logarithmic axes; :data:`LOG_FLOOR` reproduces that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+#: Floor applied when reporting metrics on logarithmic axes (paper Section V-B).
+LOG_FLOOR = 1e-6
+
+
+def abper(predicted_classes: np.ndarray, real_classes: np.ndarray) -> float:
+    """Average bit-level prediction error rate (Eq. 1 of the paper).
+
+    Both arguments are (cycles, bits) matrices of timing classes; the
+    encoding (0/1 for erroneous/correct or the reverse) does not matter as
+    long as it is consistent, because only disagreements are counted.
+    """
+    predicted = np.asarray(predicted_classes)
+    real = np.asarray(real_classes)
+    if predicted.shape != real.shape:
+        raise AnalysisError(f"shape mismatch: predicted {predicted.shape} vs real {real.shape}")
+    if predicted.size == 0:
+        raise AnalysisError("cannot compute ABPER on an empty prediction")
+    return float(np.mean(predicted.astype(np.int8) != real.astype(np.int8)))
+
+
+def avpe(predicted_silver: np.ndarray, real_silver: np.ndarray) -> float:
+    """Average value-level predictive error (Eq. 4 of the paper).
+
+    The denominator is the real silver value of each cycle, as in the
+    paper's definition; cycles whose real silver value is zero are
+    excluded (they cannot be normalised).
+    """
+    predicted = np.asarray(predicted_silver, dtype=np.int64)
+    real = np.asarray(real_silver, dtype=np.int64)
+    if predicted.shape != real.shape:
+        raise AnalysisError(f"shape mismatch: predicted {predicted.shape} vs real {real.shape}")
+    if predicted.size == 0:
+        raise AnalysisError("cannot compute AVPE on an empty prediction")
+    nonzero = real != 0
+    if not np.any(nonzero):
+        raise AnalysisError("all real silver values are zero; AVPE is undefined")
+    deviation = np.abs(predicted[nonzero] - real[nonzero]) / np.abs(real[nonzero])
+    return float(np.sum(deviation) / predicted.shape[0])
+
+
+def floored(value: float, floor: float = LOG_FLOOR) -> float:
+    """Clamp a metric to the logarithmic-axis floor used by the paper's figures."""
+    return max(float(value), floor)
+
+
+def classification_summary(predicted: np.ndarray, real: np.ndarray) -> Dict[str, float]:
+    """Accuracy / precision / recall of error prediction (1 = erroneous).
+
+    Complements ABPER for analysing class imbalance: with rare timing
+    errors a predictor can reach excellent ABPER while missing every
+    error, which precision/recall expose.
+    """
+    predicted = np.asarray(predicted).astype(bool).ravel()
+    real = np.asarray(real).astype(bool).ravel()
+    if predicted.shape != real.shape:
+        raise AnalysisError(f"shape mismatch: predicted {predicted.shape} vs real {real.shape}")
+    true_positive = float(np.count_nonzero(predicted & real))
+    false_positive = float(np.count_nonzero(predicted & ~real))
+    false_negative = float(np.count_nonzero(~predicted & real))
+    correct = float(np.count_nonzero(predicted == real))
+    total = float(predicted.size)
+    precision = true_positive / (true_positive + false_positive) if true_positive + false_positive else 0.0
+    recall = true_positive / (true_positive + false_negative) if true_positive + false_negative else 0.0
+    return {
+        "accuracy": correct / total if total else 0.0,
+        "precision": precision,
+        "recall": recall,
+        "error_rate": float(np.mean(real)),
+    }

@@ -1,0 +1,179 @@
+"""Decision-tree classifier (CART with Gini impurity) on binary features.
+
+This is a from-scratch replacement for the scikit-learn classifier the
+paper uses, specialised to the timing-error prediction problem: features
+are binary (operand and output bits), labels are binary (timing-correct
+vs timing-erroneous).  The implementation is array-based: every node
+split evaluates all candidate features at once with vectorised counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class _Node:
+    """One tree node: either a leaf (prediction) or an internal split."""
+
+    prediction: float
+    feature: int = -1
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _gini_gain(X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray) -> np.ndarray:
+    """Gini impurity decrease of splitting on each candidate binary feature."""
+    total = y.shape[0]
+    positives = float(y.sum())
+    parent_gini = 1.0 - (positives / total) ** 2 - ((total - positives) / total) ** 2
+
+    ones_mask = X[:, feature_indices].astype(bool)
+    count_right = ones_mask.sum(axis=0).astype(np.float64)
+    count_left = total - count_right
+    pos_right = (ones_mask & y[:, None].astype(bool)).sum(axis=0).astype(np.float64)
+    pos_left = positives - pos_right
+
+    def gini(count: np.ndarray, positive: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(count > 0, positive / np.maximum(count, 1), 0.0)
+            return 1.0 - p ** 2 - (1.0 - p) ** 2
+
+    weighted = (count_left * gini(count_left, pos_left) +
+                count_right * gini(count_right, pos_right)) / total
+    gain = parent_gini - weighted
+    # Splits that send every sample to one side provide no information.
+    gain[(count_left == 0) | (count_right == 0)] = -np.inf
+    return gain
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier over 0/1 feature matrices.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root has depth 0).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of features examined per split: ``None`` (all), an int, or
+        ``"sqrt"``.  Random forests use ``"sqrt"`` to decorrelate trees.
+    seed:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 8,
+                 max_features: Optional[object] = None, seed: SeedLike = None) -> None:
+        if max_depth < 1:
+            raise ModelError(f"max_depth must be at least 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ModelError(f"min_samples_split must be at least 2, got {min_samples_split}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = ensure_rng(seed)
+        self._root: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit the tree on a 0/1 feature matrix and 0/1 labels."""
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.uint8)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ModelError(f"inconsistent shapes X{X.shape} y{y.shape}")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit a tree on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        assert self.n_features_ is not None
+        if self.max_features is None:
+            return np.arange(self.n_features_)
+        if self.max_features == "sqrt":
+            count = max(1, int(np.sqrt(self.n_features_)))
+        else:
+            count = min(int(self.max_features), self.n_features_)
+        return self._rng.choice(self.n_features_, size=count, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        prediction = float(y.mean())
+        if (depth >= self.max_depth or y.shape[0] < self.min_samples_split
+                or prediction in (0.0, 1.0)):
+            return _Node(prediction=prediction)
+        candidates = self._candidate_features()
+        gains = _gini_gain(X, y, candidates)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 1e-12:
+            return _Node(prediction=prediction)
+        feature = int(candidates[best])
+        right_mask = X[:, feature].astype(bool)
+        left = self._build(X[~right_mask], y[~right_mask], depth + 1)
+        right = self._build(X[right_mask], y[right_mask], depth + 1)
+        return _Node(prediction=prediction, feature=feature, left=left, right=right)
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for every row of ``X``."""
+        if self._root is None:
+            raise ModelError("this tree has not been fitted")
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"expected feature matrix with {self.n_features_} columns, got shape {X.shape}")
+        probabilities = np.empty(X.shape[0], dtype=np.float64)
+        # Iterative partition-based traversal: route index groups level by level.
+        stack: List[tuple] = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if node.is_leaf:
+                probabilities[indices] = node.prediction
+                continue
+            right_mask = X[indices, node.feature].astype(bool)
+            stack.append((node.left, indices[~right_mask]))
+            stack.append((node.right, indices[right_mask]))
+        return probabilities
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most likely class (0/1) for every row of ``X``."""
+        return (self.predict_proba(X) >= 0.5).astype(np.uint8)
+
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._root is None:
+            raise ModelError("this tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        if self._root is None:
+            raise ModelError("this tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self._root)

@@ -1,0 +1,41 @@
+"""Synthesis substrate: netlist generators, gate sizing and the full flow.
+
+The paper synthesizes its adders with a commercial tool into an
+industrial 65 nm library under a 0.3 ns timing constraint.  This package
+replaces that step:
+
+* :mod:`~repro.synth.adders` — structural generators for exact adders
+  (ripple-carry, group carry-look-ahead, Kogge-Stone, Brent-Kung).
+* :mod:`~repro.synth.isa_synth` — structural generator for the Inexact
+  Speculative Adder architecture (SPEC / ADD / COMP blocks of Fig. 1).
+* :mod:`~repro.synth.sizing` — slack-driven gate sizing that re-targets a
+  netlist to a clock constraint, trading slack for "power" the same way a
+  synthesis tool does, which produces the realistic wall of near-critical
+  paths that makes overclocking interesting.
+* :mod:`~repro.synth.flow` — ``synthesize()``: generate, validate, size
+  and annotate a design in one call.
+"""
+
+from repro.synth.adders import (
+    brent_kung_adder,
+    carry_lookahead_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.synth.isa_synth import isa_adder
+from repro.synth.sizing import SizingOptions, SizingResult, size_to_constraint
+from repro.synth.flow import SynthesisOptions, SynthesizedDesign, synthesize
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "kogge_stone_adder",
+    "brent_kung_adder",
+    "isa_adder",
+    "SizingOptions",
+    "SizingResult",
+    "size_to_constraint",
+    "SynthesisOptions",
+    "SynthesizedDesign",
+    "synthesize",
+]

@@ -1,0 +1,220 @@
+"""Structural netlist generators for exact adders.
+
+Four classical architectures are provided.  The Kogge-Stone parallel
+prefix adder is the workhorse: it is used for the exact baseline and for
+the ISA sub-adders because it is the kind of aggressive structure
+synthesis picks for a 3.3 GHz constraint and because its dense prefix
+tree gives realistic dynamic path sensitisation under overclocking.
+Ripple-carry, group carry-look-ahead and Brent-Kung generators are
+provided for design-space exploration and as additional validation
+targets of the timing substrate.
+
+All generators build 32-/n-bit unsigned adders with operand buses ``A``
+and ``B``, a carry-in input ``cin`` and an output bus ``S`` of
+``width + 1`` bits (the MSB is the carry out).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import Netlist
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+def _propagate_generate(builder: NetlistBuilder, a_bits: Sequence[str],
+                        b_bits: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Per-bit propagate (XOR) and generate (AND) signals."""
+    propagate = [builder.xor2(a, b) for a, b in zip(a_bits, b_bits)]
+    generate = [builder.and2(a, b) for a, b in zip(a_bits, b_bits)]
+    return propagate, generate
+
+
+def ripple_carry_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+                      cin: str) -> Tuple[List[str], str]:
+    """Ripple-carry chain of full adders; returns ``(sum_bits, carry_out)``."""
+    sums: List[str] = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        total, carry = builder.full_adder(a, b, carry)
+        sums.append(total)
+    return sums, carry
+
+
+def cla_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+             cin: str, group: int = 4) -> Tuple[List[str], str]:
+    """Group carry-look-ahead adder; returns ``(sum_bits, carry_out)``.
+
+    Within each group the carry into every bit is computed from the group
+    carry-in through flat (tree-structured) prefix generate/propagate
+    terms, so the critical path is the inter-group carry chain — two
+    gates per group — plus a constant intra-group depth.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ConfigurationError("operand bit vectors must have equal length")
+    check_positive_int("group", group)
+    propagate, generate = _propagate_generate(builder, a_bits, b_bits)
+    sums: List[str] = []
+    group_carry = cin
+    width = len(a_bits)
+    for start in range(0, width, group):
+        stop = min(start + group, width)
+        indices = list(range(start, stop))
+        # Prefix generate/propagate of the group (relative to the group LSB),
+        # built as flat AND/OR trees so their depth is constant per group.
+        prefix_generate: List[str] = []
+        prefix_propagate: List[str] = []
+        for j, idx in enumerate(indices):
+            # G[0..j] = OR over k of (p[j] & ... & p[k+1] & g[k])
+            terms: List[str] = []
+            for k in range(j, -1, -1):
+                literals = [propagate[i] for i in indices[k + 1:j + 1]] + [generate[indices[k]]]
+                terms.append(builder.and_tree(literals))
+            prefix_generate.append(builder.or_tree(terms))
+            prefix_propagate.append(builder.and_tree([propagate[i] for i in indices[:j + 1]]))
+        # Carry into each bit of the group and the group carry out.
+        carries = [group_carry]
+        for j in range(1, len(indices)):
+            carries.append(builder.or2(prefix_generate[j - 1],
+                                       builder.and2(prefix_propagate[j - 1], group_carry)))
+        for j, idx in enumerate(indices):
+            sums.append(builder.xor2(propagate[idx], carries[j]))
+        group_carry = builder.or2(prefix_generate[-1],
+                                  builder.and2(prefix_propagate[-1], group_carry))
+    return sums, group_carry
+
+
+def prefix_adder_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+                      cin: str, pairs_schedule: Sequence[Sequence[Tuple[int, int]]]
+                      ) -> Tuple[List[str], str]:
+    """Shared machinery for parallel-prefix adders (Kogge-Stone, Brent-Kung).
+
+    ``pairs_schedule`` lists, per prefix level, the (target, source) index
+    pairs to combine with the usual (G, P) o (G', P') operator.
+    """
+    propagate, generate = _propagate_generate(builder, a_bits, b_bits)
+    width = len(a_bits)
+    prefix_g = list(generate)
+    prefix_p = list(propagate)
+    for level in pairs_schedule:
+        new_g = list(prefix_g)
+        new_p = list(prefix_p)
+        for target, source in level:
+            new_g[target] = builder.or2(prefix_g[target],
+                                        builder.and2(prefix_p[target], prefix_g[source]))
+            new_p[target] = builder.and2(prefix_p[target], prefix_p[source])
+        prefix_g = new_g
+        prefix_p = new_p
+    # carry into bit i is prefix over bits [0, i) combined with cin
+    carries = [cin]
+    for i in range(1, width + 1):
+        carries.append(builder.or2(prefix_g[i - 1],
+                                   builder.and2(prefix_p[i - 1], cin)))
+    sums = [builder.xor2(propagate[i], carries[i]) for i in range(width)]
+    return sums, carries[width]
+
+
+def _kogge_stone_schedule(width: int) -> List[List[Tuple[int, int]]]:
+    schedule: List[List[Tuple[int, int]]] = []
+    distance = 1
+    while distance < width:
+        schedule.append([(i, i - distance) for i in range(distance, width)])
+        distance *= 2
+    return schedule
+
+
+def _brent_kung_schedule(width: int) -> List[List[Tuple[int, int]]]:
+    schedule: List[List[Tuple[int, int]]] = []
+    # Up-sweep: combine at strides 2, 4, 8, ...
+    distance = 1
+    while distance < width:
+        level = [(i, i - distance) for i in range(2 * distance - 1, width, 2 * distance)]
+        if level:
+            schedule.append(level)
+        distance *= 2
+    # Down-sweep: fill in the remaining prefixes.
+    distance //= 2
+    while distance >= 1:
+        level = [(i, i - distance) for i in range(3 * distance - 1, width, 2 * distance)]
+        if level:
+            schedule.append(level)
+        distance //= 2
+    return schedule
+
+
+def kogge_stone_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+                     cin: str) -> Tuple[List[str], str]:
+    """Kogge-Stone parallel-prefix adder on explicit bit vectors."""
+    return prefix_adder_bits(builder, a_bits, b_bits, cin, _kogge_stone_schedule(len(a_bits)))
+
+
+def brent_kung_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+                    cin: str) -> Tuple[List[str], str]:
+    """Brent-Kung parallel-prefix adder on explicit bit vectors."""
+    return prefix_adder_bits(builder, a_bits, b_bits, cin, _brent_kung_schedule(len(a_bits)))
+
+
+#: Registry of sub-adder generators usable inside larger designs (ISA ADD blocks).
+ADDER_ARCHITECTURES = {
+    "ripple": ripple_carry_bits,
+    "cla": cla_bits,
+    "kogge-stone": kogge_stone_bits,
+    "brent-kung": brent_kung_bits,
+}
+
+
+def adder_bits(builder: NetlistBuilder, a_bits: Sequence[str], b_bits: Sequence[str],
+               cin: str, architecture: str = "kogge-stone") -> Tuple[List[str], str]:
+    """Instantiate one of the registered adder architectures on bit vectors."""
+    try:
+        generator = ADDER_ARCHITECTURES[architecture]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adder architecture {architecture!r}; "
+            f"known: {sorted(ADDER_ARCHITECTURES)}") from None
+    return generator(builder, a_bits, b_bits, cin)
+
+
+def _finish_adder(builder: NetlistBuilder, sums: Sequence[str], cout: str) -> Netlist:
+    builder.output_bus("S", list(sums) + [cout])
+    netlist = builder.build()
+    return netlist
+
+
+def _start_adder(name: str, width: int) -> Tuple[NetlistBuilder, List[str], List[str], str]:
+    check_positive_int("width", width)
+    builder = NetlistBuilder(name)
+    a_bits = builder.input_bus("A", width)
+    b_bits = builder.input_bus("B", width)
+    cin = builder.input_bit("cin")
+    return builder, a_bits, b_bits, cin
+
+
+def ripple_carry_adder(width: int = 32, name: Optional[str] = None) -> Netlist:
+    """Ripple-carry adder — the deepest, smallest architecture."""
+    builder, a_bits, b_bits, cin = _start_adder(name or f"rca{width}", width)
+    sums, cout = ripple_carry_bits(builder, a_bits, b_bits, cin)
+    return _finish_adder(builder, sums, cout)
+
+
+def carry_lookahead_adder(width: int = 32, group: int = 4, name: Optional[str] = None) -> Netlist:
+    """Group carry-look-ahead adder — the exact baseline of the experiments."""
+    builder, a_bits, b_bits, cin = _start_adder(name or f"cla{width}", width)
+    sums, cout = cla_bits(builder, a_bits, b_bits, cin, group=group)
+    return _finish_adder(builder, sums, cout)
+
+
+def kogge_stone_adder(width: int = 32, name: Optional[str] = None) -> Netlist:
+    """Kogge-Stone parallel-prefix adder — minimum logic depth, maximum area."""
+    builder, a_bits, b_bits, cin = _start_adder(name or f"ks{width}", width)
+    sums, cout = kogge_stone_bits(builder, a_bits, b_bits, cin)
+    return _finish_adder(builder, sums, cout)
+
+
+def brent_kung_adder(width: int = 32, name: Optional[str] = None) -> Netlist:
+    """Brent-Kung parallel-prefix adder — a sparser prefix tree."""
+    builder, a_bits, b_bits, cin = _start_adder(name or f"bk{width}", width)
+    sums, cout = brent_kung_bits(builder, a_bits, b_bits, cin)
+    return _finish_adder(builder, sums, cout)

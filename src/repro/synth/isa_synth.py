@@ -1,0 +1,189 @@
+"""Structural netlist generator for the Inexact Speculative Adder.
+
+The generated netlist follows the block diagram of Fig. 1 of the paper:
+for every speculative segment a SPEC block (carry look-ahead over the
+``spec_size`` bits below the block boundary), an ADD block (a group
+carry-look-ahead sub-adder seeded with the speculated carry) and a COMP
+block (fault detection, LSB correction, MSB error reduction applied to
+the *preceding* segment's sum).
+
+The netlist is logically equivalent to the behavioural model in
+:mod:`repro.core.isa`; the equivalence is enforced by integration tests
+over random vectors for every paper design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import Netlist
+from repro.core.config import ISAConfig
+from repro.synth.adders import adder_bits
+
+#: Sub-adder architecture used for the ADD blocks by default.  Kogge-Stone
+#: matches the kind of aggressive structure a synthesis tool picks for a
+#: 3.3 GHz constraint and gives realistic dynamic path-sensitisation
+#: behaviour under overclocking.
+DEFAULT_SUB_ADDER = "kogge-stone"
+
+
+def _speculator(builder: NetlistBuilder, a_bits: List[str], b_bits: List[str],
+                boundary: int, spec_size: int, guess: int) -> str:
+    """Build the SPEC block for the carry entering ``boundary``.
+
+    Returns the net carrying the speculated carry.  The carry is the
+    generate signal of the window (flat AND/OR terms); when the window
+    fully propagates the generate is 0 and the guessed value applies
+    (the paper's designs guess 0, so no extra logic is needed; a guess of
+    1 ORs the window propagate in).
+    """
+    if spec_size == 0:
+        return builder.const(guess)
+    window = range(boundary - spec_size, boundary)
+    propagate = [builder.xor2(a_bits[i], b_bits[i]) for i in window]
+    generate = [builder.and2(a_bits[i], b_bits[i]) for i in window]
+    terms: List[str] = []
+    for k in range(spec_size - 1, -1, -1):
+        literals = propagate[k + 1:] + [generate[k]]
+        terms.append(builder.and_tree(literals))
+    spec = builder.or_tree(terms)
+    if guess == 1:
+        spec = builder.or2(spec, builder.and_tree(propagate))
+    return spec
+
+
+def _correction(builder: NetlistBuilder, local_sums: List[str], correction: int,
+                positive_fault: str, negative_fault: Optional[str]
+                ) -> Tuple[List[str], str, str]:
+    """Build the LSB-correction logic of the COMP block.
+
+    Returns ``(corrected_sums, corrected, uncorrected)`` where ``corrected``
+    indicates that the fault was absorbed and ``uncorrected`` that a fault
+    occurred but could not be corrected (the field was saturated).
+
+    To keep the COMP off the critical path (as the paper's architecture
+    does), the incremented field is computed concurrently with the local
+    addition and the late fault signal only drives the final selection
+    multiplexers.
+    """
+    if correction == 0:
+        return list(local_sums), builder.zero, builder.zero
+    field = local_sums[:correction]
+    all_ones = builder.and_tree(field)
+    # Speculatively incremented field (does not wait for the fault signal).
+    incremented = builder.incrementer(field, builder.one)
+    can_increment = builder.and2(positive_fault, builder.inv(all_ones))
+    cannot_increment = builder.and2(positive_fault, all_ones)
+    select_incremented = can_increment
+    corrected_flag = can_increment
+    uncorrected_flag = cannot_increment
+    new_field = [builder.mux2(original, plus_one, select_incremented)
+                 for original, plus_one in zip(field, incremented)]
+    if negative_fault is not None:
+        all_zeros = builder.inv(builder.or_tree(field))
+        decremented = builder.decrementer(field, builder.one)
+        can_decrement = builder.and2(negative_fault, builder.inv(all_zeros))
+        cannot_decrement = builder.and2(negative_fault, all_zeros)
+        new_field = [builder.mux2(current, minus_one, can_decrement)
+                     for current, minus_one in zip(new_field, decremented)]
+        corrected_flag = builder.or2(can_increment, can_decrement)
+        uncorrected_flag = builder.or2(cannot_increment, cannot_decrement)
+    return new_field + list(local_sums[correction:]), corrected_flag, uncorrected_flag
+
+
+def _reduction(builder: NetlistBuilder, previous_sums: List[str], reduction: int,
+               reduce_up: str, reduce_down: Optional[str]) -> List[str]:
+    """Build the error-reduction (balancing) logic applied to the preceding sum.
+
+    The ``reduction`` MSBs of the preceding block sum are forced to 1 when
+    a missing carry could not be corrected (``reduce_up``) and to 0 for an
+    uncorrectable spurious carry (``reduce_down``), bounding the residual
+    error of the fault.
+    """
+    if reduction == 0:
+        return list(previous_sums)
+    block_size = len(previous_sums)
+    result = list(previous_sums)
+    for position in range(block_size - reduction, block_size):
+        forced = builder.or2(result[position], reduce_up)
+        if reduce_down is not None:
+            forced = builder.and2(forced, builder.inv(reduce_down))
+        result[position] = forced
+    return result
+
+
+def isa_adder(config: ISAConfig, name: Optional[str] = None,
+              sub_adder: str = DEFAULT_SUB_ADDER) -> Netlist:
+    """Generate the gate-level netlist of an Inexact Speculative Adder.
+
+    Parameters
+    ----------
+    config:
+        The ISA configuration (width, block size, speculation, correction,
+        reduction).
+    name:
+        Netlist name; defaults to the configuration label.
+    sub_adder:
+        Architecture of the ADD blocks (one of
+        :data:`repro.synth.adders.ADDER_ARCHITECTURES`).
+    """
+    builder = NetlistBuilder(name or config.label)
+    a_bits = builder.input_bus("A", config.width)
+    b_bits = builder.input_bus("B", config.width)
+    cin = builder.input_bit("cin")
+
+    # A guess of 0 makes spurious-carry faults impossible, so the
+    # decrement/force-to-zero compensation hardware is not instantiated
+    # (mirroring what logic synthesis would prune away).
+    negative_possible = config.speculate_on_propagate == 1
+
+    block_sums: List[List[str]] = []
+    previous_cout: Optional[str] = None
+
+    for index, offset in enumerate(config.block_offsets):
+        a_blk = a_bits[offset:offset + config.block_size]
+        b_blk = b_bits[offset:offset + config.block_size]
+        if index == 0:
+            spec = cin
+        else:
+            spec = _speculator(builder, a_bits, b_bits, offset, config.spec_size,
+                               config.speculate_on_propagate)
+        local_sums, local_cout = adder_bits(builder, a_blk, b_blk, spec,
+                                            architecture=sub_adder)
+
+        if index > 0 and (config.correction > 0 or config.reduction > 0):
+            # COMP: detect a speculation fault by comparing the speculated
+            # carry with the carry out of the preceding ADD block.  With a
+            # guess of 0 every fault is a missing carry (the window cannot
+            # speculate 1 unless the carry really is 1), so the fault
+            # direction logic degenerates and is not instantiated.
+            fault = builder.xor2(spec, previous_cout)
+            if negative_possible:
+                positive_fault = builder.and2(fault, previous_cout)
+                negative_fault = builder.and2(fault, builder.inv(previous_cout))
+            else:
+                positive_fault, negative_fault = fault, None
+
+            local_sums, corrected, uncorrected = _correction(
+                builder, local_sums, config.correction, positive_fault, negative_fault)
+
+            if config.reduction > 0:
+                if config.correction == 0:
+                    uncorrected = fault
+                reduce_up = builder.and2(uncorrected, previous_cout) \
+                    if negative_possible else uncorrected
+                reduce_down = builder.and2(uncorrected, builder.inv(previous_cout)) \
+                    if negative_possible else None
+                block_sums[index - 1] = _reduction(
+                    builder, block_sums[index - 1], config.reduction, reduce_up, reduce_down)
+
+        block_sums.append(local_sums)
+        previous_cout = local_cout
+
+    outputs: List[str] = []
+    for sums in block_sums:
+        outputs.extend(sums)
+    outputs.append(previous_cout)
+    builder.output_bus("S", outputs)
+    return builder.build()

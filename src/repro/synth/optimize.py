@@ -1,0 +1,252 @@
+"""Logic optimisation: constant propagation and dead-logic removal.
+
+The structural generators purposely emit straightforward logic (a
+constant-0 speculated carry still feeds regular carry-look-ahead cells,
+unused block carry-outs are still computed).  A synthesis tool would
+sweep all of that away; this module reproduces the two passes that matter
+for the timing behaviour of the paper's designs:
+
+* :func:`propagate_constants` — folds constants through the logic and
+  simplifies gates with constant or redundant inputs (an AND with a
+  constant-0 speculated carry disappears, a MUX with a constant select
+  becomes a wire, ...).
+* :func:`prune_unused` — removes logic that no primary output depends on
+  (e.g. the carry-out chain of a speculative segment whose COMP block is
+  absent).
+
+``optimize`` runs both until the netlist stops shrinking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
+from repro.exceptions import NetlistError
+
+#: Returned by the simplifier: either a constant, an alias to another net,
+#: or a (possibly rewritten) gate.
+_Simplified = Tuple[str, object]
+
+
+def _resolve(net: str, alias: Dict[str, str]) -> str:
+    while net in alias:
+        net = alias[net]
+    return net
+
+
+def _const_of(net: str) -> Optional[int]:
+    if net == CONST0:
+        return 0
+    if net == CONST1:
+        return 1
+    return None
+
+
+def _simplify(cell: str, inputs: List[str]) -> _Simplified:
+    """Simplify one gate whose inputs may be constant nets.
+
+    Returns ``("const", 0/1)``, ``("alias", net)`` or
+    ``("gate", (cell, inputs))``.
+    """
+    values = [_const_of(net) for net in inputs]
+
+    if all(value is not None for value in values):
+        from repro.circuit.cells import cell as cell_lookup
+        result = int(cell_lookup(cell).evaluate(*values))
+        return ("const", result)
+
+    def gate(new_cell: str, *nets: str) -> _Simplified:
+        return ("gate", (new_cell, list(nets)))
+
+    if cell == "BUF":
+        return ("alias", inputs[0])
+    if cell == "INV":
+        return gate("INV", inputs[0])
+
+    if cell in ("AND2", "AND3"):
+        if 0 in values:
+            return ("const", 0)
+        live = [net for net, value in zip(inputs, values) if value is None]
+        if len(live) == 1:
+            return ("alias", live[0])
+        if len(live) == 2:
+            return gate("AND2", *live)
+        return gate(cell, *inputs)
+    if cell in ("OR2", "OR3"):
+        if 1 in values:
+            return ("const", 1)
+        live = [net for net, value in zip(inputs, values) if value is None]
+        if len(live) == 1:
+            return ("alias", live[0])
+        if len(live) == 2:
+            return gate("OR2", *live)
+        return gate(cell, *inputs)
+    if cell == "NAND2":
+        if 0 in values:
+            return ("const", 1)
+        live = [net for net, value in zip(inputs, values) if value is None]
+        if len(live) == 1:
+            return gate("INV", live[0])
+        return gate(cell, *inputs)
+    if cell == "NOR2":
+        if 1 in values:
+            return ("const", 0)
+        live = [net for net, value in zip(inputs, values) if value is None]
+        if len(live) == 1:
+            return gate("INV", live[0])
+        return gate(cell, *inputs)
+    if cell in ("XOR2", "XNOR2"):
+        invert = cell == "XNOR2"
+        live = [net for net, value in zip(inputs, values) if value is None]
+        constant_parity = sum(value for value in values if value is not None) % 2
+        if constant_parity == 1:
+            invert = not invert
+        if len(live) == 1:
+            return gate("INV", live[0]) if invert else ("alias", live[0])
+        return gate("XNOR2" if invert else "XOR2", *live)
+    if cell == "MUX2":
+        d0, d1, sel = inputs
+        sel_value = values[2]
+        if sel_value == 0:
+            return ("alias", d0) if values[0] is None else ("const", values[0])
+        if sel_value == 1:
+            return ("alias", d1) if values[1] is None else ("const", values[1])
+        if values[0] == 0 and values[1] == 1:
+            return ("alias", sel)
+        if values[0] == 1 and values[1] == 0:
+            return gate("INV", sel)
+        if d0 == d1:
+            return ("alias", d0)
+        if values[0] == 0:
+            return gate("AND2", d1, sel)
+        if values[1] == 0:
+            return gate("AND2", d0, _invert_marker(sel))
+        if values[0] == 1:
+            return gate("OR2", d1, _invert_marker(sel))
+        if values[1] == 1:
+            return gate("OR2", d0, sel)
+        return gate(cell, *inputs)
+    if cell == "MAJ3":
+        a, b, c = inputs
+        if 0 in values:
+            live = [net for net, value in zip(inputs, values) if value is None]
+            if len(live) == 2:
+                return gate("AND2", *live)
+            if len(live) == 1:
+                return ("const", 0) if values.count(0) >= 2 else ("alias", live[0])
+        if 1 in values:
+            live = [net for net, value in zip(inputs, values) if value is None]
+            if len(live) == 2:
+                return gate("OR2", *live)
+            if len(live) == 1:
+                return ("const", 1) if values.count(1) >= 2 else ("alias", live[0])
+        return gate(cell, *inputs)
+    if cell == "AOI21":
+        a, b, c = inputs
+        if values[2] == 1:
+            return ("const", 0)
+        if values[2] == 0:
+            live = [net for net, value in zip((a, b), values[:2]) if value is None]
+            if len(live) == 2:
+                return gate("NAND2", a, b)
+            if len(live) == 1:
+                return gate("INV", live[0]) if 1 in values[:2] else ("const", 1)
+        if values[0] == 0 or values[1] == 0:
+            return gate("INV", c)
+        if values[0] == 1:
+            return gate("NOR2", b, c)
+        if values[1] == 1:
+            return gate("NOR2", a, c)
+        return gate(cell, *inputs)
+    if cell == "OAI21":
+        a, b, c = inputs
+        if values[2] == 0:
+            return ("const", 1)
+        if values[2] == 1:
+            live = [net for net, value in zip((a, b), values[:2]) if value is None]
+            if len(live) == 2:
+                return gate("NOR2", a, b)
+            if len(live) == 1:
+                return gate("INV", live[0]) if 0 in values[:2] else ("const", 0)
+        if values[0] == 1 or values[1] == 1:
+            return gate("INV", c)
+        if values[0] == 0:
+            return gate("NAND2", b, c)
+        if values[1] == 0:
+            return gate("NAND2", a, c)
+        return gate(cell, *inputs)
+    return ("gate", (cell, list(inputs)))
+
+
+class _InvertMarker(str):
+    """Sentinel wrapper signalling that a net must be inverted before use."""
+
+
+def _invert_marker(net: str) -> str:
+    return _InvertMarker(net)
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Fold constants and simplify gates, returning a new netlist."""
+    alias: Dict[str, str] = {}
+    new = Netlist(netlist.name)
+    for net in netlist.inputs:
+        new.add_input(net)
+
+    for gate in netlist.topological_order():
+        resolved = [_resolve(net, alias) for net in gate.inputs]
+        kind, payload = _simplify(gate.cell, resolved)
+        if kind == "const":
+            alias[gate.output] = CONST1 if payload else CONST0
+            continue
+        if kind == "alias":
+            alias[gate.output] = _resolve(str(payload), alias)
+            continue
+        cell_name, cell_inputs = payload
+        final_inputs: List[str] = []
+        for net in cell_inputs:
+            if isinstance(net, _InvertMarker):
+                inverted = new.add_gate(f"{gate.name}_inv_{len(final_inputs)}", "INV",
+                                        [str(net)], f"{gate.output}_inv_{len(final_inputs)}")
+                final_inputs.append(inverted.output)
+            else:
+                final_inputs.append(net)
+        new.add_gate(gate.name, cell_name, final_inputs, gate.output)
+
+    for net in netlist.outputs:
+        new.add_output(_resolve(net, alias))
+    for bus, nets in netlist.buses.items():
+        new.register_bus(bus, [_resolve(net, alias) for net in nets])
+    return new
+
+
+def prune_unused(netlist: Netlist) -> Netlist:
+    """Remove gates no primary output (transitively) depends on."""
+    needed = set(netlist.outputs)
+    for gate in reversed(netlist.topological_order()):
+        if gate.output in needed:
+            needed.update(gate.inputs)
+
+    new = Netlist(netlist.name)
+    for net in netlist.inputs:
+        new.add_input(net)
+    for gate in netlist.topological_order():
+        if gate.output in needed:
+            new.add_gate(gate.name, gate.cell, list(gate.inputs), gate.output)
+    for net in netlist.outputs:
+        new.add_output(net)
+    for bus, nets in netlist.buses.items():
+        new.register_bus(bus, list(nets))
+    return new
+
+
+def optimize(netlist: Netlist, max_passes: int = 4) -> Netlist:
+    """Run constant propagation and pruning until the netlist stops shrinking."""
+    current = netlist
+    for _ in range(max_passes):
+        before = current.num_gates
+        current = prune_unused(propagate_constants(current))
+        if current.num_gates >= before:
+            break
+    return current

@@ -1,0 +1,161 @@
+"""Static timing analysis over delay-annotated netlists.
+
+Arrival times propagate forward from primary inputs (which switch at time
+zero), required times propagate backward from primary outputs (which must
+settle by the clock period), and the slack of a gate is the difference at
+its output net.  The analysis is purely topological — input-pattern
+(dynamic) effects are handled by the simulators in
+:mod:`repro.timing.fast_sim` and :mod:`repro.timing.event_sim`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
+from repro.circuit.sdf import DelayAnnotation
+from repro.exceptions import TimingError
+
+
+def arrival_times(netlist: Netlist, annotation: DelayAnnotation) -> Dict[str, float]:
+    """Latest arrival time of every net (primary inputs switch at time 0)."""
+    arrival: Dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    arrival[CONST0] = 0.0
+    arrival[CONST1] = 0.0
+    for gate in netlist.topological_order():
+        delay = annotation.delay_of(gate.name)
+        arrival[gate.output] = delay + max(arrival[net] for net in gate.inputs)
+    return arrival
+
+
+def required_times(netlist: Netlist, annotation: DelayAnnotation,
+                   clock_period: float) -> Dict[str, float]:
+    """Latest allowed arrival of every net for the outputs to meet ``clock_period``."""
+    required: Dict[str, float] = {net: math.inf for net in netlist.nets}
+    for net in netlist.outputs:
+        required[net] = min(required[net], clock_period)
+    for gate in reversed(netlist.topological_order()):
+        delay = annotation.delay_of(gate.name)
+        budget = required[gate.output] - delay
+        for net in gate.inputs:
+            if budget < required[net]:
+                required[net] = budget
+    return required
+
+
+def gate_slacks(netlist: Netlist, annotation: DelayAnnotation,
+                clock_period: float) -> Dict[str, float]:
+    """Slack of every gate instance (required minus arrival at its output)."""
+    arrival = arrival_times(netlist, annotation)
+    required = required_times(netlist, annotation, clock_period)
+    return {gate.name: required[gate.output] - arrival[gate.output]
+            for gate in netlist.gates}
+
+
+def path_gate_counts(netlist: Netlist) -> Dict[str, int]:
+    """Number of gates on the longest input-to-output path through each gate.
+
+    Used by the sizing heuristic to split a path's slack fairly among the
+    gates that share it.
+    """
+    forward: Dict[str, int] = {net: 0 for net in netlist.nets}
+    for gate in netlist.topological_order():
+        forward[gate.output] = 1 + max(forward[net] for net in gate.inputs)
+    backward: Dict[str, int] = {net: 0 for net in netlist.nets}
+    output_set = set(netlist.outputs)
+    for gate in reversed(netlist.topological_order()):
+        downstream = backward[gate.output]
+        if gate.output in output_set:
+            downstream = max(downstream, 0)
+        through = downstream + 1
+        for net in gate.inputs:
+            if through > backward[net]:
+                backward[net] = through
+    counts: Dict[str, int] = {}
+    for gate in netlist.gates:
+        counts[gate.name] = forward[gate.output] + backward[gate.output]
+    return counts
+
+
+def critical_path(netlist: Netlist, annotation: DelayAnnotation
+                  ) -> Tuple[List[str], float, str]:
+    """Longest path as ``(gate names, delay, endpoint net)``."""
+    arrival = arrival_times(netlist, annotation)
+    if not netlist.outputs:
+        raise TimingError(f"netlist {netlist.name!r} has no primary outputs")
+    endpoint = max(netlist.outputs, key=lambda net: arrival[net])
+    path: List[str] = []
+    net = endpoint
+    while True:
+        gate = netlist.driver_of(net)
+        if gate is None:
+            break
+        path.append(gate.name)
+        net = max(gate.inputs, key=lambda candidate: arrival[candidate])
+    path.reverse()
+    return path, arrival[endpoint], endpoint
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Summary of one static timing analysis run."""
+
+    design: str
+    clock_period: Optional[float]
+    critical_path_delay: float
+    critical_path_gates: Tuple[str, ...]
+    critical_endpoint: str
+    worst_slack: Optional[float]
+    output_arrivals: Dict[str, float]
+
+    @property
+    def meets_constraint(self) -> bool:
+        """True when the worst slack is non-negative (or no clock was given)."""
+        if self.worst_slack is None:
+            return True
+        return self.worst_slack >= -1e-15
+
+    def max_frequency_ghz(self) -> float:
+        """Maximum clock frequency implied by the critical path, in GHz."""
+        if self.critical_path_delay <= 0:
+            raise TimingError("critical path delay must be positive to define a frequency")
+        return 1e-9 / self.critical_path_delay
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"Timing report for {self.design}",
+            f"  critical path delay : {self.critical_path_delay * 1e12:.1f} ps "
+            f"(endpoint {self.critical_endpoint})",
+            f"  logic depth (gates) : {len(self.critical_path_gates)}",
+            f"  max frequency       : {self.max_frequency_ghz():.2f} GHz",
+        ]
+        if self.clock_period is not None:
+            lines.append(f"  clock period        : {self.clock_period * 1e12:.1f} ps")
+            lines.append(f"  worst slack         : {self.worst_slack * 1e12:+.1f} ps"
+                         f" ({'MET' if self.meets_constraint else 'VIOLATED'})")
+        return "\n".join(lines)
+
+
+def analyze_timing(netlist: Netlist, annotation: DelayAnnotation,
+                   clock_period: Optional[float] = None) -> TimingReport:
+    """Run STA and return a :class:`TimingReport`."""
+    annotation.validate_against(netlist)
+    arrival = arrival_times(netlist, annotation)
+    path, delay, endpoint = critical_path(netlist, annotation)
+    worst_slack = None
+    if clock_period is not None:
+        if clock_period <= 0:
+            raise TimingError(f"clock period must be positive, got {clock_period}")
+        worst_slack = clock_period - delay
+    return TimingReport(
+        design=netlist.name,
+        clock_period=clock_period,
+        critical_path_delay=delay,
+        critical_path_gates=tuple(path),
+        critical_endpoint=endpoint,
+        worst_slack=worst_slack,
+        output_arrivals={net: arrival[net] for net in netlist.outputs},
+    )

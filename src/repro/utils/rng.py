@@ -1,0 +1,54 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (workload generators, bootstrap
+sampling in the random forest, process-variation jitter in the cell
+library) accepts either a seed or a :class:`numpy.random.Generator`.  The
+helpers here normalise those inputs so results are reproducible end to
+end from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` creates an unseeded generator, an integer seeds a fresh
+    generator, and an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used when a component (e.g. the random forest) needs one stream per
+    sub-component so that changing the number of sub-components does not
+    perturb the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(seed: SeedLike, salt: int) -> Optional[int]:
+    """Derive a deterministic integer seed from ``seed`` and a salt.
+
+    Returns ``None`` when ``seed`` is ``None`` so unseeded behaviour stays
+    unseeded.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return (int(seed) * 0x9E3779B97F4A7C15 + salt) % (2**63 - 1)

@@ -1,0 +1,27 @@
+"""Input workload generation for adder characterisation.
+
+The paper characterises its adders with ten million uniformly random
+unsigned inputs.  This package provides that workload plus several
+correlated/structured workloads used by the examples and extension
+experiments (multimedia-style streams, sparse sensor data, ramps).
+"""
+
+from repro.workloads.generators import (
+    WorkloadSpec,
+    correlated_workload,
+    gaussian_workload,
+    ramp_workload,
+    sparse_workload,
+    uniform_workload,
+)
+from repro.workloads.traces import OperandTrace
+
+__all__ = [
+    "WorkloadSpec",
+    "OperandTrace",
+    "uniform_workload",
+    "correlated_workload",
+    "gaussian_workload",
+    "sparse_workload",
+    "ramp_workload",
+]

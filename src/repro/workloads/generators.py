@@ -1,0 +1,133 @@
+"""Workload generators producing :class:`~repro.workloads.traces.OperandTrace`.
+
+``uniform_workload`` reproduces the paper's characterisation input (IID
+uniform unsigned operands).  The other generators model the input classes
+the paper's introduction motivates (sensor streams, multimedia data):
+temporally correlated values, Gaussian-distributed magnitudes, sparse
+activity and deterministic ramps.  They are used by the examples and by
+the workload-sensitivity extension benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.bitops import mask
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+from repro.workloads.traces import OperandTrace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Named recipe for generating an operand trace (used by experiment configs)."""
+
+    kind: str
+    length: int
+    width: int = 32
+    seed: Optional[int] = None
+    parameters: tuple = ()
+
+    def generate(self) -> OperandTrace:
+        """Materialise the trace described by this spec."""
+        generators: Dict[str, Callable[..., OperandTrace]] = {
+            "uniform": uniform_workload,
+            "correlated": correlated_workload,
+            "gaussian": gaussian_workload,
+            "sparse": sparse_workload,
+            "ramp": ramp_workload,
+        }
+        if self.kind not in generators:
+            raise WorkloadError(f"unknown workload kind {self.kind!r}; known: {sorted(generators)}")
+        return generators[self.kind](self.length, width=self.width, seed=self.seed,
+                                     **dict(self.parameters))
+
+
+def _empty_guard(length: int) -> int:
+    return check_positive_int("length", length)
+
+
+def uniform_workload(length: int, width: int = 32, seed: SeedLike = None) -> OperandTrace:
+    """IID uniform unsigned operands — the paper's characterisation workload."""
+    _empty_guard(length)
+    rng = ensure_rng(seed)
+    limit = mask(width) + 1
+    a = rng.integers(0, limit, size=length, dtype=np.uint64)
+    b = rng.integers(0, limit, size=length, dtype=np.uint64)
+    return OperandTrace(a, b, width, name=f"uniform{width}x{length}")
+
+
+def correlated_workload(length: int, width: int = 32, seed: SeedLike = None,
+                        correlation: float = 0.95) -> OperandTrace:
+    """Temporally correlated operands (first-order low-pass of a random walk).
+
+    Models slowly varying sensor values: consecutive vectors differ in a
+    limited number of low-order bits, which reduces switching activity and
+    therefore timing-error exposure — the effect the workload-sensitivity
+    benchmark quantifies.
+    """
+    _empty_guard(length)
+    check_probability("correlation", correlation)
+    rng = ensure_rng(seed)
+    limit = float(mask(width))
+    scale = limit * (1.0 - correlation) / 2.0
+
+    def walk() -> np.ndarray:
+        values = np.empty(length, dtype=np.float64)
+        values[0] = rng.uniform(0, limit)
+        steps = rng.normal(0.0, scale, size=length)
+        for index in range(1, length):
+            proposal = correlation * values[index - 1] + (1 - correlation) * limit / 2 + steps[index]
+            values[index] = min(max(proposal, 0.0), limit)
+        return values.astype(np.uint64)
+
+    return OperandTrace(walk(), walk(), width, name=f"correlated{width}x{length}")
+
+
+def gaussian_workload(length: int, width: int = 32, seed: SeedLike = None,
+                      mean_fraction: float = 0.5, std_fraction: float = 0.15) -> OperandTrace:
+    """Gaussian-distributed magnitudes (clipped), typical of filtered signals."""
+    _empty_guard(length)
+    rng = ensure_rng(seed)
+    limit = float(mask(width))
+    mean = limit * mean_fraction
+    std = limit * std_fraction
+
+    def draw() -> np.ndarray:
+        values = rng.normal(mean, std, size=length)
+        return np.clip(values, 0.0, limit).astype(np.uint64)
+
+    return OperandTrace(draw(), draw(), width, name=f"gaussian{width}x{length}")
+
+
+def sparse_workload(length: int, width: int = 32, seed: SeedLike = None,
+                    density: float = 0.2) -> OperandTrace:
+    """Operands with mostly-zero high-order bits (sparse sensor activity)."""
+    _empty_guard(length)
+    check_probability("density", density)
+    rng = ensure_rng(seed)
+    limit = mask(width) + 1
+
+    def draw() -> np.ndarray:
+        values = rng.integers(0, limit, size=length, dtype=np.uint64)
+        active = rng.random(size=length) < density
+        small = rng.integers(0, mask(max(width // 4, 1)) + 1, size=length, dtype=np.uint64)
+        return np.where(active, values, small)
+
+    return OperandTrace(draw(), draw(), width, name=f"sparse{width}x{length}")
+
+
+def ramp_workload(length: int, width: int = 32, seed: SeedLike = None,
+                  step: int = 1) -> OperandTrace:
+    """Deterministic ramps — handy for debugging and directed tests."""
+    _empty_guard(length)
+    check_positive_int("step", step)
+    limit = mask(width) + 1
+    indices = np.arange(length, dtype=np.uint64)
+    a = (indices * np.uint64(step)) % np.uint64(limit)
+    b = (indices * np.uint64(step) * np.uint64(3) + np.uint64(12345)) % np.uint64(limit)
+    return OperandTrace(a, b, width, name=f"ramp{width}x{length}")

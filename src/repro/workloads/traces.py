@@ -1,0 +1,76 @@
+"""Operand-trace container shared by behavioural and gate-level flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.bitops import mask
+
+
+@dataclass(frozen=True)
+class OperandTrace:
+    """A sequence of operand pairs applied cycle by cycle to an adder.
+
+    The trace is the unit of work everywhere in the library: the
+    behavioural models consume ``a``/``b`` directly, the timing simulators
+    consume the dict produced by :meth:`as_operands` (adding the carry-in
+    net), and the ML feature extraction uses consecutive pairs of vectors.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    width: int
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.a, dtype=np.uint64)
+        b = np.asarray(self.b, dtype=np.uint64)
+        if a.shape != b.shape or a.ndim != 1:
+            raise WorkloadError("operand arrays must be one-dimensional and equally long")
+        limit = mask(self.width)
+        if a.size and (int(a.max()) > limit or int(b.max()) > limit):
+            raise WorkloadError(f"operands exceed the unsigned {self.width}-bit range")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def length(self) -> int:
+        """Number of input vectors."""
+        return int(self.a.shape[0])
+
+    @property
+    def transitions(self) -> int:
+        """Number of input transitions the timing simulators will exercise."""
+        return max(self.length - 1, 0)
+
+    def as_operands(self, cin: int = 0) -> Dict[str, np.ndarray]:
+        """Dict understood by the timing simulators (buses ``A``/``B`` plus ``cin``)."""
+        return {
+            "A": self.a,
+            "B": self.b,
+            "cin": np.full(self.length, cin, dtype=np.uint64),
+        }
+
+    def split(self, fraction: float) -> Tuple["OperandTrace", "OperandTrace"]:
+        """Split into a leading and trailing trace (e.g. training vs evaluation)."""
+        if not 0.0 < fraction < 1.0:
+            raise WorkloadError(f"split fraction must lie in (0, 1), got {fraction}")
+        cut = int(round(self.length * fraction))
+        if cut < 2 or self.length - cut < 2:
+            raise WorkloadError("split would leave a trace with fewer than two vectors")
+        first = OperandTrace(self.a[:cut], self.b[:cut], self.width, f"{self.name}[:{cut}]")
+        second = OperandTrace(self.a[cut:], self.b[cut:], self.width, f"{self.name}[{cut}:]")
+        return first, second
+
+    def take(self, count: int) -> "OperandTrace":
+        """First ``count`` vectors of the trace."""
+        if count > self.length:
+            raise WorkloadError(f"cannot take {count} vectors from a trace of {self.length}")
+        return OperandTrace(self.a[:count], self.b[:count], self.width, f"{self.name}[:{count}]")
+
+    def __len__(self) -> int:
+        return self.length

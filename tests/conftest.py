@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Synthesis and timing simulation are the expensive operations; fixtures
+that need them are session-scoped and use reduced widths/trace lengths so
+the whole suite stays fast while still exercising real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISAConfig
+from repro.synth.flow import SynthesisOptions, exact_adder_netlist, synthesize
+from repro.timing.clocking import ClockPlan
+from repro.workloads.generators import uniform_workload
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_isa_config():
+    """A 16-bit ISA configuration small enough for exhaustive-ish checks."""
+    return ISAConfig(width=16, block_size=4, spec_size=2, correction=1, reduction=2)
+
+
+@pytest.fixture(scope="session")
+def paper_isa_config():
+    """The paper's Fig. 10 configuration (8,0,0,4) at full 32-bit width."""
+    return ISAConfig.from_quadruple((8, 0, 0, 4))
+
+
+@pytest.fixture(scope="session")
+def synthesis_options():
+    """Default synthesis options used across synthesis/timing tests."""
+    return SynthesisOptions()
+
+
+@pytest.fixture(scope="session")
+def synthesized_small_isa(small_isa_config, synthesis_options):
+    """Synthesized 16-bit ISA (netlist + delay annotation), shared by timing tests."""
+    return synthesize(small_isa_config, synthesis_options)
+
+
+@pytest.fixture(scope="session")
+def synthesized_exact16(synthesis_options):
+    """Synthesized 16-bit exact adder, shared by timing tests."""
+    return synthesize(exact_adder_netlist(16), synthesis_options)
+
+
+@pytest.fixture(scope="session")
+def clock_plan():
+    """The paper's clock plan (0.3 ns safe period, 5/10/15 % CPR)."""
+    return ClockPlan.paper()
+
+
+@pytest.fixture(scope="session")
+def short_trace16():
+    """Short 16-bit operand trace for timing-simulation tests."""
+    return uniform_workload(200, width=16, seed=99)
+
+
+@pytest.fixture(scope="session")
+def short_trace32():
+    """Short 32-bit operand trace for behavioural characterisation tests."""
+    return uniform_workload(400, width=32, seed=100)

@@ -1,0 +1,119 @@
+"""Unit and property tests for the exact-adder netlist generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.synth.adders import (
+    ADDER_ARCHITECTURES,
+    adder_bits,
+    brent_kung_adder,
+    carry_lookahead_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.validate import check_netlist
+
+GENERATORS = {
+    "ripple": ripple_carry_adder,
+    "cla": carry_lookahead_adder,
+    "kogge-stone": kogge_stone_adder,
+    "brent-kung": brent_kung_adder,
+}
+
+
+def exhaustive_check(netlist, width):
+    values = np.arange(2 ** width, dtype=np.uint64)
+    a = np.repeat(values, 2 ** width)
+    b = np.tile(values, 2 ** width)
+    for cin in (0, 1):
+        cin_arr = np.full(a.shape, cin, dtype=np.uint64)
+        result = netlist.compute_words({"A": a, "B": b, "cin": cin_arr})
+        assert np.array_equal(result, a + b + cin)
+
+
+class TestExhaustiveSmallWidths:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_4bit_exhaustive(self, name):
+        exhaustive_check(GENERATORS[name](4), 4)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_5bit_non_power_of_two(self, name):
+        exhaustive_check(GENERATORS[name](5), 5)
+
+
+class TestRandomisedWiderWidths:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_32bit_random(self, name, rng):
+        netlist = GENERATORS[name](32)
+        a = rng.integers(0, 2**32, 300, dtype=np.uint64)
+        b = rng.integers(0, 2**32, 300, dtype=np.uint64)
+        cin = rng.integers(0, 2, 300, dtype=np.uint64)
+        assert np.array_equal(netlist.compute_words({"A": a, "B": b, "cin": cin}), a + b + cin)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_structurally_valid(self, name):
+        report = check_netlist(GENERATORS[name](16))
+        assert report.num_outputs == 17
+
+    def test_depth_ordering(self):
+        """Prefix adders are shallower than CLA, which is shallower than ripple."""
+        ripple = ripple_carry_adder(32).logic_depth()
+        cla = carry_lookahead_adder(32).logic_depth()
+        kogge = kogge_stone_adder(32).logic_depth()
+        assert kogge < cla < ripple
+
+    def test_width_grows_depth(self):
+        assert kogge_stone_adder(32).logic_depth() > kogge_stone_adder(8).logic_depth()
+
+
+class TestAdderBitsDispatcher:
+    def test_unknown_architecture(self):
+        builder = NetlistBuilder("t")
+        a = [builder.input_bit("a0")]
+        b = [builder.input_bit("b0")]
+        with pytest.raises(ConfigurationError):
+            adder_bits(builder, a, b, builder.zero, architecture="magic")
+
+    def test_registry_contains_all_architectures(self):
+        assert set(ADDER_ARCHITECTURES) == set(GENERATORS)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_bits_interface_matches_word_interface(self, name, rng):
+        builder = NetlistBuilder("bits")
+        a_bits = builder.input_bus("A", 8)
+        b_bits = builder.input_bus("B", 8)
+        cin = builder.input_bit("cin")
+        sums, cout = adder_bits(builder, a_bits, b_bits, cin, architecture=name)
+        builder.output_bus("S", list(sums) + [cout])
+        netlist = builder.build()
+        a = rng.integers(0, 256, 64, dtype=np.uint64)
+        b = rng.integers(0, 256, 64, dtype=np.uint64)
+        assert np.array_equal(
+            netlist.compute_words({"A": a, "B": b, "cin": np.zeros(64, dtype=np.uint64)}),
+            a + b)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=1))
+    def test_kogge_stone_16_matches_arithmetic(self, a, b, cin):
+        netlist = kogge_stone_adder(16)
+        result = netlist.compute_words({"A": np.array([a], dtype=np.uint64),
+                                        "B": np.array([b], dtype=np.uint64),
+                                        "cin": np.array([cin], dtype=np.uint64)})
+        assert int(result[0]) == a + b + cin
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**12 - 1),
+           st.integers(min_value=0, max_value=2**12 - 1))
+    def test_brent_kung_12_matches_arithmetic(self, a, b):
+        netlist = brent_kung_adder(12)
+        result = netlist.compute_words({"A": np.array([a], dtype=np.uint64),
+                                        "B": np.array([b], dtype=np.uint64),
+                                        "cin": np.array([0], dtype=np.uint64)})
+        assert int(result[0]) == a + b

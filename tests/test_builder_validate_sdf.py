@@ -1,0 +1,165 @@
+"""Unit tests for the netlist builder, structural validation and delay annotation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.library import default_library
+from repro.circuit.netlist import CONST0, CONST1
+from repro.circuit.sdf import DelayAnnotation
+from repro.circuit.validate import check_netlist
+from repro.exceptions import NetlistError, TimingError
+
+
+class TestBuilderIdioms:
+    def test_constants(self):
+        builder = NetlistBuilder("t")
+        assert builder.zero == CONST0 and builder.one == CONST1
+        assert builder.const(0) == CONST0 and builder.const(1) == CONST1
+        with pytest.raises(NetlistError):
+            builder.const(2)
+
+    def test_full_adder_truth_table(self):
+        builder = NetlistBuilder("fa")
+        a, b, c = builder.input_bit("a"), builder.input_bit("b"), builder.input_bit("c")
+        total, carry = builder.full_adder(a, b, c)
+        builder.output_bus("S", [total, carry])
+        netlist = builder.build()
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vc in (0, 1):
+                    word = int(netlist.compute_words({"a": np.array([va]), "b": np.array([vb]),
+                                                      "c": np.array([vc])})[0])
+                    assert word == va + vb + vc
+
+    def test_half_adder(self):
+        builder = NetlistBuilder("ha")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        total, carry = builder.half_adder(a, b)
+        builder.output_bus("S", [total, carry])
+        netlist = builder.build()
+        assert int(netlist.compute_words({"a": np.array([1]), "b": np.array([1])})[0]) == 2
+
+    def test_and_or_trees(self):
+        builder = NetlistBuilder("trees")
+        bits = [builder.input_bit(f"x{i}") for i in range(5)]
+        all_of = builder.and_tree(bits)
+        any_of = builder.or_tree(bits)
+        builder.output_bus("S", [all_of, any_of])
+        netlist = builder.build()
+        word = int(netlist.compute_words({f"x{i}": np.array([1]) for i in range(5)})[0])
+        assert word == 0b11
+        word = int(netlist.compute_words({f"x{i}": np.array([0]) for i in range(5)})[0])
+        assert word == 0b00
+
+    def test_empty_tree_returns_identity(self):
+        builder = NetlistBuilder("t")
+        assert builder.and_tree([]) == CONST1
+        assert builder.or_tree([]) == CONST0
+
+    def test_incrementer(self):
+        builder = NetlistBuilder("inc")
+        bits = [builder.input_bit(f"x{i}") for i in range(3)]
+        enable = builder.input_bit("en")
+        builder.output_bus("S", builder.incrementer(bits, enable))
+        netlist = builder.build()
+        for value in range(8):
+            for en in (0, 1):
+                stimulus = {f"x{i}": np.array([(value >> i) & 1]) for i in range(3)}
+                stimulus["en"] = np.array([en])
+                result = int(netlist.compute_words(stimulus)[0])
+                assert result == (value + en) % 8
+
+    def test_decrementer(self):
+        builder = NetlistBuilder("dec")
+        bits = [builder.input_bit(f"x{i}") for i in range(3)]
+        enable = builder.input_bit("en")
+        builder.output_bus("S", builder.decrementer(bits, enable))
+        netlist = builder.build()
+        for value in range(8):
+            for en in (0, 1):
+                stimulus = {f"x{i}": np.array([(value >> i) & 1]) for i in range(3)}
+                stimulus["en"] = np.array([en])
+                result = int(netlist.compute_words(stimulus)[0])
+                assert result == (value - en) % 8
+
+
+class TestValidation:
+    def test_clean_netlist_passes(self):
+        builder = NetlistBuilder("clean")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        builder.output_bus("S", [builder.xor2(a, b)])
+        report = check_netlist(builder.build())
+        assert report.ok
+        assert report.num_gates == 1
+
+    def test_dangling_logic_detected(self):
+        builder = NetlistBuilder("dangling")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        builder.and2(a, b)  # never used
+        builder.output_bus("S", [builder.xor2(a, b)])
+        with pytest.raises(NetlistError):
+            check_netlist(builder.build())
+        report = check_netlist(builder.build(), strict=False)
+        assert not report.ok
+
+    def test_unused_input_warning(self):
+        builder = NetlistBuilder("unused")
+        a = builder.input_bit("a")
+        builder.input_bit("b")
+        builder.output_bus("S", [builder.inv(a)])
+        report = check_netlist(builder.build(), strict=False)
+        assert any("never read" in warning for warning in report.warnings)
+        assert check_netlist(builder.build(), allow_unused_inputs=True).ok
+
+
+class TestDelayAnnotation:
+    def _netlist(self):
+        builder = NetlistBuilder("annot")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        builder.output_bus("S", [builder.xor2(a, b), builder.and2(a, b)])
+        return builder.build()
+
+    def test_nominal_annotation(self):
+        netlist = self._netlist()
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        assert len(annotation) == netlist.num_gates
+        annotation.validate_against(netlist)
+        assert annotation.total_delay() > 0
+
+    def test_missing_gate_detected(self):
+        netlist = self._netlist()
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        del annotation.delays[next(iter(annotation.delays))]
+        with pytest.raises(NetlistError):
+            annotation.validate_against(netlist)
+
+    def test_unknown_gate_lookup(self):
+        annotation = DelayAnnotation(design="x")
+        with pytest.raises(TimingError):
+            annotation.delay_of("nope")
+
+    def test_negative_delay_rejected(self):
+        annotation = DelayAnnotation(design="x")
+        with pytest.raises(TimingError):
+            annotation.set_delay("g", -1.0)
+
+    def test_serialisation_roundtrip(self):
+        netlist = self._netlist()
+        annotation = DelayAnnotation.nominal(netlist, default_library(), clock_constraint=3e-10)
+        text = annotation.dumps()
+        restored = DelayAnnotation.loads(text)
+        assert restored.design == annotation.design
+        assert restored.clock_constraint == pytest.approx(3e-10)
+        for gate in netlist.gates:
+            assert restored.delay_of(gate.name) == pytest.approx(annotation.delay_of(gate.name))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(TimingError):
+            DelayAnnotation.load(io.StringIO("not an annotation\n"))
+
+    def test_missing_design_rejected(self):
+        with pytest.raises(TimingError):
+            DelayAnnotation.loads("# repro delay annotation v1\ng1 1e-12\n")

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.compensation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compensation import (
+    apply_correction,
+    apply_reduction,
+    can_correct,
+    compensate,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCanCorrect:
+    def test_increment_possible(self):
+        assert can_correct(0b1101_0010, correction=2, direction=+1)
+
+    def test_increment_blocked_by_saturated_field(self):
+        assert not can_correct(0b0000_0011, correction=2, direction=+1)
+
+    def test_decrement_possible(self):
+        assert can_correct(0b01, correction=2, direction=-1)
+
+    def test_decrement_blocked_by_zero_field(self):
+        assert not can_correct(0b1100, correction=2, direction=-1)
+
+    def test_no_correction_hardware(self):
+        assert not can_correct(0b0, correction=0, direction=+1)
+
+    def test_direction_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            can_correct(0, correction=1, direction=0)
+
+
+class TestApplyCorrection:
+    def test_increment(self):
+        assert apply_correction(0b1000_0001, correction=2, direction=+1) == 0b1000_0010
+
+    def test_decrement(self):
+        assert apply_correction(0b1000_0001, correction=2, direction=-1) == 0b1000_0000
+
+    def test_saturated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_correction(0b11, correction=2, direction=+1)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=1, max_value=4))
+    def test_correction_stays_within_field(self, local_sum, correction):
+        """Correcting never disturbs bits above the correction field."""
+        if can_correct(local_sum, correction, +1):
+            corrected = apply_correction(local_sum, correction, +1)
+            assert corrected >> correction == local_sum >> correction
+
+
+class TestApplyReduction:
+    def test_reduce_up_saturates_msbs(self):
+        assert apply_reduction(0b0000_0000, block_size=8, reduction=3, direction=+1) == 0b1110_0000
+
+    def test_reduce_down_clears_msbs(self):
+        assert apply_reduction(0b1111_1111, block_size=8, reduction=3, direction=-1) == 0b0001_1111
+
+    def test_zero_reduction_is_identity(self):
+        assert apply_reduction(0b1010, block_size=8, reduction=0, direction=+1) == 0b1010
+
+    def test_reduction_larger_than_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_reduction(0, block_size=4, reduction=5, direction=+1)
+
+
+class TestCompensate:
+    def test_fully_corrected_fault_has_zero_residual(self):
+        outcome = compensate(local_sum=0b0101_0000, previous_sum=0xAB, block_size=8,
+                             correction=2, reduction=4, direction=+1, block_offset=8)
+        assert outcome.corrected and not outcome.reduced
+        assert outcome.residual_error == 0
+        assert outcome.local_sum == 0b0101_0001
+
+    def test_uncorrectable_fault_triggers_reduction(self):
+        outcome = compensate(local_sum=0b0000_0011, previous_sum=0x00, block_size=8,
+                             correction=2, reduction=4, direction=+1, block_offset=8)
+        assert outcome.reduced and not outcome.corrected
+        assert outcome.previous_sum == 0b1111_0000
+        # Residual: missing carry of -256, compensated by +240 from the forced MSBs.
+        assert outcome.residual_error == -256 + 240
+
+    def test_no_compensation_hardware(self):
+        outcome = compensate(local_sum=0b11, previous_sum=0x12, block_size=8,
+                             correction=0, reduction=0, direction=+1, block_offset=16)
+        assert not outcome.corrected and not outcome.reduced
+        assert outcome.residual_error == -(1 << 16)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            compensate(0, 0, 8, 1, 1, direction=0, block_offset=8)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=4))
+    def test_residual_error_bounded(self, local_sum, previous_sum, correction, reduction):
+        """One fault's residual never exceeds the block weight; correction zeroes it."""
+        block_offset = 8
+        outcome = compensate(local_sum, previous_sum, block_size=8, correction=correction,
+                             reduction=reduction, direction=+1, block_offset=block_offset)
+        assert abs(outcome.residual_error) <= 1 << block_offset
+        if outcome.corrected:
+            assert outcome.residual_error == 0
+        if outcome.reduced and previous_sum >> (8 - reduction) == 0:
+            # Balancing is fully effective when the preceding MSB field was empty.
+            assert abs(outcome.residual_error) <= 1 << (block_offset - reduction)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.config (ISAConfig)."""
+
+import pytest
+
+from repro.core.config import ISAConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_quadruple(self):
+        config = ISAConfig.from_quadruple((8, 0, 0, 4))
+        assert config.width == 32
+        assert config.quadruple == (8, 0, 0, 4)
+        assert config.num_blocks == 4
+        assert config.block_offsets == (0, 8, 16, 24)
+
+    def test_name_matches_paper_notation(self):
+        assert ISAConfig.from_quadruple((16, 2, 1, 6)).name == "(16,2,1,6)"
+
+    def test_label_is_identifier_safe(self):
+        assert ISAConfig.from_quadruple((16, 2, 1, 6)).label == "isa32_16_2_1_6"
+
+    def test_exact_configuration(self):
+        exact = ISAConfig.exact(32)
+        assert exact.is_exact
+        assert exact.num_blocks == 1
+
+    def test_non_exact(self):
+        assert not ISAConfig.from_quadruple((8, 0, 0, 0)).is_exact
+
+    def test_with_width(self):
+        config = ISAConfig(width=32, block_size=8).with_width(16)
+        assert config.width == 16
+        assert config.num_blocks == 2
+
+    def test_describe_mentions_blocks(self):
+        text = ISAConfig.from_quadruple((8, 0, 1, 4)).describe()
+        assert "4 x 8 bits" in text
+        assert "1 LSBs" in text
+
+
+class TestValidation:
+    def test_block_must_divide_width(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=5)
+
+    def test_block_larger_than_width(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=8, block_size=16)
+
+    def test_spec_larger_than_block(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=8, spec_size=9)
+
+    def test_correction_larger_than_block(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=8, correction=9)
+
+    def test_reduction_larger_than_block(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=8, reduction=9)
+
+    def test_negative_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=8, spec_size=-1)
+
+    def test_bad_guess(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig(width=32, block_size=8, speculate_on_propagate=2)
+
+    def test_bad_quadruple_length(self):
+        with pytest.raises(ConfigurationError):
+            ISAConfig.from_quadruple((8, 0, 0))
+
+    def test_frozen(self):
+        config = ISAConfig.from_quadruple((8, 0, 0, 4))
+        with pytest.raises(Exception):
+            config.width = 16
+
+
+class TestPaperDesigns:
+    @pytest.mark.parametrize("quadruple", [
+        (8, 0, 0, 0), (8, 0, 0, 2), (8, 0, 0, 4), (8, 0, 1, 4), (8, 0, 1, 6),
+        (16, 0, 0, 0), (16, 1, 0, 0), (16, 1, 0, 2), (16, 2, 0, 4),
+        (16, 2, 1, 6), (16, 7, 0, 8),
+    ])
+    def test_all_paper_quadruples_are_valid(self, quadruple):
+        config = ISAConfig.from_quadruple(quadruple)
+        assert config.quadruple == quadruple
+        assert config.width % config.block_size == 0

@@ -1,0 +1,57 @@
+"""Unit tests for repro.core.exact."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exact import ExactAdder
+from repro.exceptions import ConfigurationError
+
+
+class TestExactAdder:
+    def test_simple_addition(self):
+        assert ExactAdder(8).add(200, 100) == 300
+
+    def test_carry_in(self):
+        assert ExactAdder(8).add(1, 2, cin=1) == 4
+
+    def test_result_width(self):
+        assert ExactAdder(32).result_width == 33
+
+    def test_name(self):
+        assert ExactAdder().name == "exact"
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(8).add(256, 0)
+        with pytest.raises(ConfigurationError):
+            ExactAdder(8).add(0, -1)
+
+    def test_bad_cin(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(8).add(1, 1, cin=2)
+
+    def test_width_limit(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(63)
+
+    def test_add_many_matches_numpy(self):
+        adder = ExactAdder(16)
+        a = np.array([1, 65535, 1234], dtype=np.uint64)
+        b = np.array([2, 1, 4321], dtype=np.uint64)
+        assert adder.add_many(a, b).tolist() == [3, 65536, 5555]
+
+    def test_add_many_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(16).add_many(np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64))
+
+    def test_add_many_range_check(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(8).add_many(np.array([300], dtype=np.uint64),
+                                   np.array([0], dtype=np.uint64))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=1))
+    def test_matches_python_arithmetic(self, a, b, cin):
+        assert ExactAdder(32).add(a, b, cin) == a + b + cin

@@ -1,0 +1,95 @@
+"""Tests for the end-to-end synthesis flow (repro.synth.flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISAConfig
+from repro.core.isa import InexactSpeculativeAdder
+from repro.exceptions import SynthesisError
+from repro.synth.flow import SynthesisOptions, exact_adder_netlist, synthesize
+from repro.timing.clocking import PAPER_SAFE_PERIOD
+
+
+class TestSynthesisOptions:
+    def test_defaults_reproduce_paper_setup(self):
+        options = SynthesisOptions()
+        assert options.clock_constraint == pytest.approx(PAPER_SAFE_PERIOD)
+        assert options.enable_sizing and options.enable_optimization
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(SynthesisError):
+            SynthesisOptions(adder_architecture="magic")
+
+    def test_resolved_library(self):
+        assert SynthesisOptions().resolved_library().name == "synthetic65"
+
+
+class TestSynthesizeIsa:
+    def test_isa_design(self, synthesized_small_isa, small_isa_config):
+        design = synthesized_small_isa
+        assert design.config == small_isa_config
+        assert not design.is_exact
+        assert design.netlist_report.ok
+        assert design.critical_path_delay > 0
+        assert design.sizing_result is not None
+        assert "critical path" in design.describe()
+
+    def test_exact_netlist_design(self, synthesized_exact16):
+        assert synthesized_exact16.is_exact
+        assert synthesized_exact16.config is None
+        assert synthesized_exact16.name == "exact"
+
+    def test_exact_isa_config_uses_exact_netlist(self):
+        design = synthesize(ISAConfig.exact(16))
+        assert design.is_exact
+        assert design.name == "exact"
+
+    def test_sizing_can_be_disabled(self, small_isa_config):
+        unsized = synthesize(small_isa_config, SynthesisOptions(enable_sizing=False))
+        sized = synthesize(small_isa_config, SynthesisOptions(enable_sizing=True))
+        assert unsized.sizing_result is None
+        assert sized.critical_path_delay >= unsized.critical_path_delay
+
+    def test_meets_paper_constraint_for_shallow_isa(self):
+        design = synthesize(ISAConfig.from_quadruple((8, 0, 0, 4)))
+        assert design.critical_path_delay <= PAPER_SAFE_PERIOD + 1e-15
+
+    def test_functionality_preserved_through_flow(self, rng):
+        config = ISAConfig.from_quadruple((16, 2, 1, 6))
+        design = synthesize(config)
+        behavioural = InexactSpeculativeAdder(config)
+        a = rng.integers(0, 2**32, 200, dtype=np.uint64)
+        b = rng.integers(0, 2**32, 200, dtype=np.uint64)
+        gate_level = design.netlist.compute_words(
+            {"A": a, "B": b, "cin": np.zeros(200, dtype=np.uint64)})
+        assert np.array_equal(gate_level, behavioural.add_many(a, b))
+
+    def test_process_variation_changes_delays(self, small_isa_config):
+        base = synthesize(small_isa_config)
+        varied = synthesize(small_isa_config,
+                            SynthesisOptions(variation_sigma=0.05, variation_seed=1))
+        base_total = base.annotation.total_delay()
+        varied_total = varied.annotation.total_delay()
+        assert varied_total != pytest.approx(base_total)
+
+    def test_unsupported_design_object(self):
+        with pytest.raises(SynthesisError):
+            synthesize("not a design")
+
+
+class TestExactAdderNetlist:
+    def test_architectures(self):
+        for architecture in ("kogge-stone", "cla", "brent-kung", "ripple"):
+            netlist = exact_adder_netlist(8, architecture)
+            assert netlist.name == "exact"
+            assert len(netlist.buses["S"]) == 9
+
+    def test_unknown_architecture(self):
+        with pytest.raises(SynthesisError):
+            exact_adder_netlist(8, "magic")
+
+    def test_exact_adder_marginal_at_paper_constraint(self):
+        """The 32-bit exact adder barely misses/meets 3.3 GHz — the paper's motivation."""
+        design = synthesize(exact_adder_netlist(32))
+        assert design.critical_path_delay >= 0.95 * PAPER_SAFE_PERIOD
+        assert design.critical_path_delay <= 1.15 * PAPER_SAFE_PERIOD

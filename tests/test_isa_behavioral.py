@@ -1,0 +1,140 @@
+"""Unit tests for the behavioural ISA model (repro.core.isa)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISAConfig
+from repro.core.isa import InexactSpeculativeAdder
+from repro.exceptions import ConfigurationError
+
+
+class TestScalarModel:
+    def test_no_fault_means_exact(self):
+        """Small operands never provoke a carry across block boundaries."""
+        adder = InexactSpeculativeAdder(ISAConfig.from_quadruple((8, 0, 0, 4)))
+        assert adder.add(0x01010101, 0x02020202) == 0x01010101 + 0x02020202
+
+    def test_known_structural_error_without_compensation(self):
+        """A carry into an un-speculated boundary is simply dropped."""
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8))
+        # 0x00FF + 0x0001 carries into bit 8; speculation guesses 0 and there is
+        # no compensation, so the result misses exactly 2**8.
+        assert adder.add(0x00FF, 0x0001) == 0x0100 - 0x100
+
+    def test_correction_restores_exact_result(self):
+        """With a non-saturated LSB field the correction absorbs the fault."""
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8, correction=2))
+        # Upper block local sum LSBs are 0b00 -> incrementable.
+        a, b = 0x00FF, 0x0001
+        assert adder.add(a, b) == a + b
+
+    def test_reduction_bounds_the_error(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8, reduction=4))
+        a, b = 0x00FF, 0x0001
+        result = adder.add(a, b)
+        exact = a + b
+        assert result != exact
+        assert abs(result - exact) <= 1 << (8 - 4)
+
+    def test_detailed_records_fault(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8, reduction=4))
+        detail = adder.add_detailed(0x00FF, 0x0001)
+        assert detail.fault_count == 1
+        upper_block = detail.blocks[1]
+        assert upper_block.fault and upper_block.reduced and not upper_block.corrected
+        assert upper_block.direction == +1
+        assert detail.error_positions  # the residual error has a bit-position equivalent
+
+    def test_detailed_exact_when_no_fault(self):
+        adder = InexactSpeculativeAdder(ISAConfig.from_quadruple((8, 0, 1, 4)))
+        detail = adder.add_detailed(1, 2)
+        assert detail.structural_error == 0
+        assert detail.fault_count == 0
+
+    def test_carry_out_preserved(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8, spec_size=4))
+        result = adder.add(0xFFFF, 0xFFFF)
+        assert result >> 16 == 1
+
+    def test_operand_range_checked(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8))
+        with pytest.raises(ConfigurationError):
+            adder.add(0x1_0000, 0)
+
+    def test_bad_cin(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8))
+        with pytest.raises(ConfigurationError):
+            adder.add(1, 1, cin=2)
+
+    def test_name_and_result_width(self):
+        adder = InexactSpeculativeAdder(ISAConfig.from_quadruple((8, 0, 0, 4)))
+        assert adder.name == "(8,0,0,4)"
+        assert adder.result_width == 33
+
+
+class TestSpeculationAccuracy:
+    def test_larger_spec_window_reduces_errors(self, short_trace32):
+        a, b = short_trace32.a, short_trace32.b
+        exact = a + b
+        rates = []
+        for spec in (0, 2, 7):
+            adder = InexactSpeculativeAdder(ISAConfig(width=32, block_size=16, spec_size=spec))
+            rates.append(float(np.mean(adder.add_many(a, b) != exact)))
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_reduction_reduces_rms_error(self, short_trace32):
+        a, b = short_trace32.a, short_trace32.b
+        exact = (a + b).astype(np.int64)
+        errors = []
+        for reduction in (0, 4):
+            adder = InexactSpeculativeAdder(
+                ISAConfig(width=32, block_size=8, reduction=reduction))
+            gold = adder.add_many(a, b).astype(np.int64)
+            errors.append(float(np.sqrt(np.mean(((gold - exact) / exact.astype(float)) ** 2))))
+        assert errors[1] < errors[0]
+
+
+class TestVectorisedModel:
+    def test_matches_scalar(self, short_trace32):
+        config = ISAConfig.from_quadruple((16, 2, 1, 6))
+        adder = InexactSpeculativeAdder(config)
+        a, b = short_trace32.a[:100], short_trace32.b[:100]
+        vectorised = adder.add_many(a, b)
+        scalar = np.array([adder.add(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint64)
+        assert np.array_equal(vectorised, scalar)
+
+    def test_shape_mismatch(self):
+        adder = InexactSpeculativeAdder(ISAConfig.from_quadruple((8, 0, 0, 4)))
+        with pytest.raises(ConfigurationError):
+            adder.add_many(np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64))
+
+    def test_range_check(self):
+        adder = InexactSpeculativeAdder(ISAConfig(width=16, block_size=8))
+        with pytest.raises(ConfigurationError):
+            adder.add_many(np.array([0x10000], dtype=np.uint64), np.array([0], dtype=np.uint64))
+
+    def test_stats_collection(self, short_trace32):
+        config = ISAConfig.from_quadruple((8, 0, 0, 4))
+        adder = InexactSpeculativeAdder(config)
+        gold, stats = adder.add_many_with_stats(short_trace32.a, short_trace32.b)
+        assert np.array_equal(gold, adder.add_many(short_trace32.a, short_trace32.b))
+        assert stats.cycles == short_trace32.length
+        # (8,0,0,4) has no correction: every fault is balanced, none corrected.
+        assert stats.corrected_counts.sum() == 0
+        assert stats.reduced_counts.sum() == stats.fault_counts.sum()
+        # Structural errors concentrate below the block boundaries (bits 4-7, 12-15, 20-23).
+        rates = stats.error_rate_by_position
+        assert rates[4:8].sum() > 0
+        assert rates[:4].sum() == 0
+
+    def test_error_bound_holds(self, short_trace32):
+        config = ISAConfig.from_quadruple((8, 0, 1, 4))
+        adder = InexactSpeculativeAdder(config)
+        gold = adder.add_many(short_trace32.a, short_trace32.b).astype(np.int64)
+        exact = (short_trace32.a + short_trace32.b).astype(np.int64)
+        assert np.max(np.abs(gold - exact)) <= adder.worst_case_error_bound()
+
+    def test_exact_single_block_config_never_errs(self, short_trace32):
+        adder = InexactSpeculativeAdder(ISAConfig.exact(32))
+        gold = adder.add_many(short_trace32.a, short_trace32.b)
+        assert np.array_equal(gold, short_trace32.a + short_trace32.b)

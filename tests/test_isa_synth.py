@@ -1,0 +1,95 @@
+"""Tests for the gate-level ISA generator and its equivalence with the behavioural model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ISAConfig
+from repro.core.isa import InexactSpeculativeAdder
+from repro.circuit.validate import check_netlist
+from repro.experiments.designs import PAPER_QUADRUPLES
+from repro.synth.isa_synth import isa_adder
+from repro.synth.optimize import optimize
+
+
+def _netlist_words(netlist, a, b):
+    return netlist.compute_words({"A": a, "B": b,
+                                  "cin": np.zeros(a.shape[0], dtype=np.uint64)})
+
+
+class TestEquivalenceWithBehaviouralModel:
+    @pytest.mark.parametrize("quadruple", PAPER_QUADRUPLES)
+    def test_all_paper_designs_match(self, quadruple, rng):
+        config = ISAConfig.from_quadruple(quadruple)
+        behavioural = InexactSpeculativeAdder(config)
+        netlist = isa_adder(config)
+        a = rng.integers(0, 2**32, 400, dtype=np.uint64)
+        b = rng.integers(0, 2**32, 400, dtype=np.uint64)
+        assert np.array_equal(_netlist_words(netlist, a, b), behavioural.add_many(a, b))
+
+    @pytest.mark.parametrize("quadruple", [(8, 0, 0, 4), (16, 2, 1, 6), (16, 7, 0, 8)])
+    def test_optimised_netlist_still_matches(self, quadruple, rng):
+        config = ISAConfig.from_quadruple(quadruple)
+        behavioural = InexactSpeculativeAdder(config)
+        netlist = optimize(isa_adder(config))
+        a = rng.integers(0, 2**32, 400, dtype=np.uint64)
+        b = rng.integers(0, 2**32, 400, dtype=np.uint64)
+        assert np.array_equal(_netlist_words(netlist, a, b), behavioural.add_many(a, b))
+
+    def test_carry_in_is_honoured(self, rng):
+        config = ISAConfig(width=16, block_size=8, spec_size=2, correction=1, reduction=2)
+        behavioural = InexactSpeculativeAdder(config)
+        netlist = isa_adder(config)
+        a = rng.integers(0, 2**16, 100, dtype=np.uint64)
+        b = rng.integers(0, 2**16, 100, dtype=np.uint64)
+        cin = np.ones(100, dtype=np.uint64)
+        gate_level = netlist.compute_words({"A": a, "B": b, "cin": cin})
+        expected = np.array([behavioural.add(int(x), int(y), cin=1) for x, y in zip(a, b)],
+                            dtype=np.uint64)
+        assert np.array_equal(gate_level, expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1))
+    def test_property_small_isa(self, a, b):
+        config = ISAConfig(width=16, block_size=4, spec_size=2, correction=1, reduction=2)
+        behavioural = InexactSpeculativeAdder(config)
+        netlist = isa_adder(config)
+        word = int(_netlist_words(netlist, np.array([a], dtype=np.uint64),
+                                  np.array([b], dtype=np.uint64))[0])
+        assert word == behavioural.add(a, b)
+
+
+class TestStructureOfGeneratedNetlists:
+    def test_output_width(self):
+        netlist = isa_adder(ISAConfig.from_quadruple((8, 0, 0, 4)))
+        assert len(netlist.buses["S"]) == 33
+
+    def test_valid_after_optimisation(self):
+        netlist = optimize(isa_adder(ISAConfig.from_quadruple((16, 2, 1, 6))))
+        report = check_netlist(netlist)
+        assert report.num_inputs == 65  # two 32-bit buses plus cin
+
+    def test_speculation_guess_one_variant(self, rng):
+        """The dual-direction compensation hardware (guess = 1) also matches the model."""
+        config = ISAConfig(width=16, block_size=8, spec_size=2, correction=1, reduction=2,
+                           speculate_on_propagate=1)
+        behavioural = InexactSpeculativeAdder(config)
+        netlist = isa_adder(config)
+        a = rng.integers(0, 2**16, 300, dtype=np.uint64)
+        b = rng.integers(0, 2**16, 300, dtype=np.uint64)
+        assert np.array_equal(_netlist_words(netlist, a, b), behavioural.add_many(a, b))
+
+    def test_sub_adder_architecture_choice(self, rng):
+        config = ISAConfig.from_quadruple((8, 0, 0, 4))
+        behavioural = InexactSpeculativeAdder(config)
+        a = rng.integers(0, 2**32, 100, dtype=np.uint64)
+        b = rng.integers(0, 2**32, 100, dtype=np.uint64)
+        for architecture in ("ripple", "cla", "brent-kung"):
+            netlist = isa_adder(config, sub_adder=architecture)
+            assert np.array_equal(_netlist_words(netlist, a, b), behavioural.add_many(a, b))
+
+    def test_larger_compensation_means_more_gates(self):
+        small = isa_adder(ISAConfig.from_quadruple((8, 0, 0, 0))).num_gates
+        large = isa_adder(ISAConfig.from_quadruple((8, 0, 1, 6))).num_gates
+        assert large > small

@@ -1,0 +1,135 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def make_dataset(rule, samples=400, features=12, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(samples, features)).astype(np.uint8)
+    y = rule(X).astype(np.uint8)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_single_feature_rule(self):
+        X, y = make_dataset(lambda X: X[:, 3])
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_learns_conjunction(self):
+        X, y = make_dataset(lambda X: X[:, 0] & X[:, 5])
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.98
+
+    def test_learns_xor_with_enough_depth(self):
+        """XOR has no single-feature gain, but sampling noise lets greedy CART split it."""
+        X, y = make_dataset(lambda X: X[:, 0] ^ X[:, 1], samples=800, features=6)
+        tree = DecisionTreeClassifier(max_depth=8, min_samples_split=4).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.9
+
+    def test_pure_labels_give_leaf(self):
+        X = np.zeros((10, 4), dtype=np.uint8)
+        y = np.ones(10, dtype=np.uint8)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+        assert tree.predict(X).tolist() == [1] * 10
+
+    def test_probability_output_range(self):
+        X, y = make_dataset(lambda X: X[:, 0] | X[:, 1])
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_max_depth_respected(self):
+        X, y = make_dataset(lambda X: X[:, 0] ^ X[:, 1] ^ X[:, 2], samples=800)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_node_count_positive(self):
+        X, y = make_dataset(lambda X: X[:, 2])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count() >= 3
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().predict(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_shape_errors(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2), dtype=np.uint8),
+                                         np.zeros(4, dtype=np.uint8))
+        tree = DecisionTreeClassifier().fit(np.zeros((4, 2), dtype=np.uint8),
+                                            np.array([0, 1, 0, 1], dtype=np.uint8))
+        with pytest.raises(ModelError):
+            tree.predict(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((0, 3), dtype=np.uint8),
+                                         np.zeros(0, dtype=np.uint8))
+
+
+class TestRandomForest:
+    def test_learns_majority_function(self):
+        X, y = make_dataset(lambda X: ((X[:, 0] + X[:, 1] + X[:, 2]) >= 2), samples=600)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=5, seed=0).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.95
+
+    def test_deterministic_with_seed(self):
+        X, y = make_dataset(lambda X: X[:, 0] & X[:, 4])
+        first = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X)
+        second = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X)
+        assert np.allclose(first, second)
+
+    def test_balanced_class_weight_improves_recall_on_rare_class(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(1500, 10)).astype(np.uint8)
+        # rare positive class: only when three specific bits are set (12.5% of samples)
+        y = (X[:, 0] & X[:, 1] & X[:, 2]).astype(np.uint8)
+        plain = RandomForestClassifier(n_estimators=5, max_depth=3, seed=0).fit(X, y)
+        balanced = RandomForestClassifier(n_estimators=5, max_depth=3, seed=0,
+                                          class_weight="balanced").fit(X, y)
+        positives = y == 1
+
+        def recall(model):
+            return float(np.mean(model.predict(X)[positives] == 1))
+
+        assert recall(balanced) >= recall(plain) - 1e-9
+
+    def test_describe_and_is_fitted(self):
+        forest = RandomForestClassifier(n_estimators=2)
+        assert not forest.is_fitted
+        assert "not fitted" in forest.describe()
+        X, y = make_dataset(lambda X: X[:, 1])
+        forest.fit(X, y)
+        assert forest.is_fitted
+        assert "2 trees" in forest.describe()
+
+    def test_unfitted_prediction_rejected(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier().predict(np.zeros((1, 2), dtype=np.uint8))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ModelError):
+            RandomForestClassifier(class_weight="bogus")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=11))
+    def test_single_feature_rules_always_learnable(self, feature):
+        X, y = make_dataset(lambda X: X[:, feature], samples=300, seed=feature)
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4, seed=1).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.9

@@ -1,0 +1,105 @@
+"""Tests for constant propagation and dead-logic removal (repro.synth.optimize)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.validate import check_netlist
+from repro.synth.adders import kogge_stone_adder
+from repro.synth.optimize import optimize, propagate_constants, prune_unused
+
+
+def _truth_table(netlist, input_names):
+    rows = {}
+    count = len(input_names)
+    for value in range(2 ** count):
+        stimulus = {name: np.array([(value >> i) & 1]) for i, name in enumerate(input_names)}
+        rows[value] = [int(np.asarray(out).ravel()[0]) for out in netlist.evaluate_outputs(stimulus)]
+    return rows
+
+
+class TestPropagateConstants:
+    def test_and_with_constant_zero_folds(self):
+        builder = NetlistBuilder("t")
+        a = builder.input_bit("a")
+        y = builder.and2(a, builder.zero)
+        builder.output_bus("S", [builder.or2(y, a)])
+        optimised = propagate_constants(builder.build())
+        # The AND with 0 disappears and the OR simplifies to a wire to "a".
+        assert optimised.num_gates == 0
+        assert optimised.outputs == ["a"]
+
+    def test_xor_with_constant_one_becomes_inverter(self):
+        builder = NetlistBuilder("t")
+        a = builder.input_bit("a")
+        builder.output_bus("S", [builder.xor2(a, builder.one)])
+        optimised = propagate_constants(builder.build())
+        assert optimised.cell_histogram() == {"INV": 1}
+
+    def test_mux_with_constant_select(self):
+        builder = NetlistBuilder("t")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        builder.output_bus("S", [builder.mux2(a, b, builder.one)])
+        optimised = propagate_constants(builder.build())
+        assert optimised.num_gates == 0
+        assert optimised.outputs == ["b"]
+
+    def test_fully_constant_cone_maps_output_to_constant(self):
+        builder = NetlistBuilder("t")
+        builder.input_bit("a")
+        builder.output_bus("S", [builder.and2(builder.one, builder.one)])
+        optimised = propagate_constants(builder.build())
+        assert optimised.outputs == ["const1"]
+
+    @pytest.mark.parametrize("cell,inputs", [
+        ("AND3", 3), ("OR3", 3), ("MAJ3", 3), ("AOI21", 3), ("OAI21", 3),
+        ("NAND2", 2), ("NOR2", 2), ("XNOR2", 2), ("MUX2", 3),
+    ])
+    def test_function_preserved_with_constant_inputs(self, cell, inputs):
+        """Tying any single input to a constant must preserve the boolean function."""
+        for constant_position in range(inputs):
+            for constant_value in (0, 1):
+                builder = NetlistBuilder("t")
+                nets, names = [], []
+                for position in range(inputs):
+                    if position == constant_position:
+                        nets.append(builder.const(constant_value))
+                    else:
+                        name = f"x{position}"
+                        nets.append(builder.input_bit(name))
+                        names.append(name)
+                builder.output_bus("S", [builder.gate(cell, *nets)])
+                original = builder.build()
+                optimised = propagate_constants(original)
+                assert _truth_table(original, names) == _truth_table(optimised, names)
+
+
+class TestPruneUnused:
+    def test_removes_dead_cone(self):
+        builder = NetlistBuilder("t")
+        a, b = builder.input_bit("a"), builder.input_bit("b")
+        dead = builder.and2(a, b)
+        builder.xor2(dead, a)  # dead cone, never observed
+        builder.output_bus("S", [builder.or2(a, b)])
+        pruned = prune_unused(builder.build())
+        assert pruned.num_gates == 1
+        assert check_netlist(pruned).ok
+
+    def test_keeps_everything_reachable(self):
+        netlist = kogge_stone_adder(8)
+        assert prune_unused(netlist).num_gates == netlist.num_gates
+
+
+class TestOptimize:
+    def test_idempotent_on_clean_design(self):
+        netlist = kogge_stone_adder(8)
+        once = optimize(netlist)
+        twice = optimize(once)
+        assert twice.num_gates == once.num_gates
+
+    def test_preserves_adder_function(self, rng):
+        netlist = optimize(kogge_stone_adder(12))
+        a = rng.integers(0, 2**12, 200, dtype=np.uint64)
+        b = rng.integers(0, 2**12, 200, dtype=np.uint64)
+        result = netlist.compute_words({"A": a, "B": b, "cin": np.zeros(200, dtype=np.uint64)})
+        assert np.array_equal(result, a + b)

@@ -1,0 +1,72 @@
+"""Tests for the command-line runner and the top-level public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.runner import build_parser, main, run_all
+from repro.experiments.common import StudyConfig
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        adder = repro.InexactSpeculativeAdder(repro.ISAConfig.from_quadruple((8, 0, 0, 4)))
+        result = adder.add_detailed(0x12345678, 0x0FEDCBA9)
+        assert result.value >= 0
+        assert result.structural_error == result.value - (0x12345678 + 0x0FEDCBA9)
+
+    def test_exported_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_synthesize_and_plan(self):
+        design = repro.synthesize(repro.ISAConfig(width=16, block_size=8, reduction=2))
+        assert design.critical_path_delay > 0
+        plan = repro.ClockPlan.paper()
+        assert len(plan.periods) == 3
+
+    def test_combine_errors_export(self):
+        errors = repro.combine_errors([8], [6], [7])
+        assert errors.e_joint.tolist() == [-1]
+
+    def test_uniform_workload_export(self):
+        trace = repro.uniform_workload(8, width=16, seed=0)
+        assert trace.length == 8
+
+
+class TestRunnerCli:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args([])
+        assert arguments.scale == 1.0
+        assert arguments.simulator == "event"
+        assert set(arguments.figures) == {"fig7", "fig8", "fig9", "fig10"}
+
+    def test_parser_rejects_bad_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figures", "fig99"])
+
+    def test_run_all_fig9_only(self):
+        config = StudyConfig(characterization_length=120, training_length=120,
+                             evaluation_length=100, seed=2, simulator="fast")
+        report = run_all(config, ["fig9"])
+        assert "Fig. 9" in report
+        assert "Fig. 7" not in report
+        assert "regenerated fig9" in report
+
+    def test_run_all_fig10_reuses_characterization(self):
+        config = StudyConfig(characterization_length=120, training_length=120,
+                             evaluation_length=100, seed=2, simulator="fast")
+        report = run_all(config, ["fig9", "fig10"])
+        assert "Fig. 10" in report and "Fig. 9" in report
+
+    def test_main_writes_output_file(self, tmp_path, monkeypatch):
+        output = tmp_path / "report.txt"
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "1.0")
+        exit_code = main(["--scale", "0.05", "--simulator", "fast",
+                          "--figures", "fig9", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        assert "Fig. 9" in output.read_text()

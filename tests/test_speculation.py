@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.speculation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.speculation import exact_carry_into, speculate_carry, window_generate, window_propagate
+from repro.exceptions import ConfigurationError
+
+
+class TestWindowSignals:
+    def test_generate_when_window_overflows(self):
+        # window bits 4..7 of a: 0xF and b: 0x1 -> generates a carry
+        assert window_generate(0xF0, 0x10, 8, 4) == 1
+
+    def test_no_generate(self):
+        assert window_generate(0x10, 0x20, 8, 4) == 0
+
+    def test_propagate_full_window(self):
+        # a window of 0b1010 vs 0b0101 propagates on every bit
+        assert window_propagate(0xA0, 0x50, 8, 4) == 1
+
+    def test_propagate_partial(self):
+        assert window_propagate(0xA0, 0x40, 8, 4) == 0
+
+    def test_zero_window_degenerates(self):
+        assert window_generate(0xFF, 0xFF, 8, 0) == 0
+        assert window_propagate(0xFF, 0xFF, 8, 0) == 1
+
+
+class TestSpeculateCarry:
+    def test_spec_zero_guesses_constant(self):
+        assert speculate_carry(0xFFFF, 0xFFFF, 8, 0, guess=0) == 0
+        assert speculate_carry(0x0, 0x0, 8, 0, guess=1) == 1
+
+    def test_generate_dominates_guess(self):
+        assert speculate_carry(0xF0, 0x10, 8, 4, guess=0) == 1
+
+    def test_propagating_window_uses_guess(self):
+        assert speculate_carry(0xA0, 0x50, 8, 4, guess=0) == 0
+        assert speculate_carry(0xA0, 0x50, 8, 4, guess=1) == 1
+
+    def test_array_inputs(self):
+        a = np.array([0xF0, 0x10], dtype=np.uint64)
+        b = np.array([0x10, 0x20], dtype=np.uint64)
+        spec = speculate_carry(a, b, 8, 4)
+        assert spec.tolist() == [1, 0]
+
+    def test_window_below_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speculate_carry(1, 1, 2, 4)
+
+    def test_bad_guess_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speculate_carry(1, 1, 8, 2, guess=2)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=1, max_value=8))
+    def test_speculation_correct_unless_propagating(self, a, b, spec_size):
+        """When the window does not fully propagate, speculation equals the true carry."""
+        boundary = 8
+        true_carry = exact_carry_into(a, b, boundary, cin=0)
+        if window_propagate(a, b, boundary, min(spec_size, boundary)) == 0:
+            assert speculate_carry(a, b, boundary, min(spec_size, boundary)) == true_carry
+
+
+class TestExactCarryInto:
+    def test_position_zero_returns_cin(self):
+        assert exact_carry_into(5, 7, 0, cin=1) == 1
+
+    def test_simple_carry(self):
+        assert exact_carry_into(0xFF, 0x01, 8) == 1
+        assert exact_carry_into(0x0F, 0x01, 8) == 0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_carry_into(1, 1, -1)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1),
+           st.integers(min_value=0, max_value=2**20 - 1),
+           st.integers(min_value=0, max_value=20))
+    def test_matches_full_addition(self, a, b, position):
+        expected = ((a + b) >> position) & 1 if position == 0 else None
+        carry = exact_carry_into(a, b, position)
+        # reconstruct: sum bits below position + carry * 2^position == (a+b) restricted
+        low_mask = (1 << position) - 1
+        assert ((a & low_mask) + (b & low_mask)) >> position == carry

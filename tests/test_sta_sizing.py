@@ -1,0 +1,150 @@
+"""Tests for static timing analysis and slack-driven sizing."""
+
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.library import default_library
+from repro.circuit.sdf import DelayAnnotation
+from repro.exceptions import SynthesisError, TimingError
+from repro.synth.adders import kogge_stone_adder
+from repro.synth.sizing import SizingOptions, size_to_constraint
+from repro.timing.sta import (
+    analyze_timing,
+    arrival_times,
+    critical_path,
+    gate_slacks,
+    path_gate_counts,
+    required_times,
+)
+
+
+def chain_netlist(length=4):
+    """A simple inverter chain with a side branch, for hand-checkable STA."""
+    builder = NetlistBuilder("chain")
+    net = builder.input_bit("a")
+    for _ in range(length):
+        net = builder.inv(net)
+    side = builder.inv(builder.input_bit("b"))
+    builder.output_bus("S", [net, side])
+    return builder.build()
+
+
+class TestArrivalAndRequired:
+    def test_chain_arrival_is_sum_of_delays(self):
+        netlist = chain_netlist(4)
+        library = default_library()
+        annotation = DelayAnnotation.nominal(netlist, library)
+        arrival = arrival_times(netlist, annotation)
+        inv_delay = library.delay("INV")
+        assert arrival[netlist.outputs[0]] == pytest.approx(4 * inv_delay)
+        assert arrival[netlist.outputs[1]] == pytest.approx(1 * inv_delay)
+
+    def test_required_times_back_propagate(self):
+        netlist = chain_netlist(2)
+        library = default_library()
+        annotation = DelayAnnotation.nominal(netlist, library)
+        required = required_times(netlist, annotation, clock_period=1e-10)
+        inv_delay = library.delay("INV")
+        assert required["a"] == pytest.approx(1e-10 - 2 * inv_delay)
+
+    def test_slack_positive_for_loose_clock(self):
+        netlist = chain_netlist(3)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        slacks = gate_slacks(netlist, annotation, clock_period=1e-9)
+        assert all(slack > 0 for slack in slacks.values())
+
+    def test_critical_path_identifies_long_chain(self):
+        netlist = chain_netlist(5)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        path, delay, endpoint = critical_path(netlist, annotation)
+        assert len(path) == 5
+        assert endpoint == netlist.outputs[0]
+        assert delay == pytest.approx(5 * default_library().delay("INV"))
+
+    def test_path_gate_counts(self):
+        netlist = chain_netlist(3)
+        counts = path_gate_counts(netlist)
+        # every inverter of the 3-long chain lies on a 3-gate path
+        chain_gates = [gate.name for gate in netlist.gates][:3]
+        for name in chain_gates:
+            assert counts[name] == 3
+
+
+class TestTimingReport:
+    def test_meets_constraint(self):
+        netlist = chain_netlist(2)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        report = analyze_timing(netlist, annotation, clock_period=1e-9)
+        assert report.meets_constraint
+        assert report.worst_slack > 0
+        assert "critical path" in report.describe()
+
+    def test_violated_constraint(self):
+        netlist = chain_netlist(10)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        report = analyze_timing(netlist, annotation, clock_period=1e-12)
+        assert not report.meets_constraint
+
+    def test_max_frequency(self):
+        netlist = chain_netlist(2)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        report = analyze_timing(netlist, annotation)
+        assert report.max_frequency_ghz() > 0
+        assert report.clock_period is None and report.meets_constraint
+
+    def test_bad_clock_rejected(self):
+        netlist = chain_netlist(2)
+        annotation = DelayAnnotation.nominal(netlist, default_library())
+        with pytest.raises(TimingError):
+            analyze_timing(netlist, annotation, clock_period=0.0)
+
+
+class TestSizing:
+    def test_slack_is_consumed_but_constraint_met(self):
+        netlist = kogge_stone_adder(16)
+        library = default_library()
+        nominal = analyze_timing(netlist, DelayAnnotation.nominal(netlist, library))
+        constraint = nominal.critical_path_delay * 1.5
+        result = size_to_constraint(netlist, library,
+                                    SizingOptions(clock_constraint=constraint))
+        assert result.met_constraint
+        assert result.sized_critical_path > result.nominal_critical_path
+        assert result.sized_critical_path <= constraint + 1e-15
+        assert result.power_recovery > 0
+        assert result.slack_at_constraint >= 0
+
+    def test_violating_design_is_sped_up(self):
+        netlist = kogge_stone_adder(16)
+        library = default_library()
+        nominal = analyze_timing(netlist, DelayAnnotation.nominal(netlist, library))
+        constraint = nominal.critical_path_delay * 0.93
+        result = size_to_constraint(netlist, library,
+                                    SizingOptions(clock_constraint=constraint))
+        assert result.sized_critical_path < result.nominal_critical_path
+
+    def test_speed_up_is_bounded_by_cell_limits(self):
+        netlist = kogge_stone_adder(16)
+        library = default_library()
+        nominal = analyze_timing(netlist, DelayAnnotation.nominal(netlist, library))
+        # An impossible constraint: the fix-up passes stop at the cells' fastest sizes.
+        constraint = nominal.critical_path_delay * 0.5
+        result = size_to_constraint(netlist, library,
+                                    SizingOptions(clock_constraint=constraint))
+        assert not result.met_constraint
+        assert result.sized_critical_path >= nominal.critical_path_delay * 0.80
+
+    def test_delays_respect_library_bounds(self):
+        netlist = kogge_stone_adder(8)
+        library = default_library()
+        result = size_to_constraint(netlist, library,
+                                    SizingOptions(clock_constraint=1e-9))
+        for gate in netlist.gates:
+            timing = library.timing(gate.cell)
+            delay = result.annotation.delay_of(gate.name)
+            assert timing.min_delay - 1e-18 <= delay <= timing.max_delay + 1e-18
+
+    def test_invalid_options(self):
+        with pytest.raises(SynthesisError):
+            SizingOptions(clock_constraint=-1.0)
+        with pytest.raises(SynthesisError):
+            SizingOptions(clock_constraint=1e-10, fixup_iterations=-1)
