@@ -9,6 +9,9 @@ This package replaces the paper's commercial synthesis/simulation stack
   each cell a nominal delay and legal sizing range.
 * :mod:`~repro.circuit.netlist` — the netlist graph (nets, gate instances,
   primary IOs) plus zero-delay logic evaluation.
+* :mod:`~repro.circuit.compiled` — netlists lowered to bit-packed
+  structure-of-arrays programs (64 simulation cycles per ``uint64``
+  word) for logic evaluation and arrival-threshold timing.
 * :mod:`~repro.circuit.builder` — convenience API for writing generators.
 * :mod:`~repro.circuit.sdf` — per-instance delay annotation (a minimal
   SDF equivalent) with a text serialisation.
@@ -16,6 +19,7 @@ This package replaces the paper's commercial synthesis/simulation stack
 """
 
 from repro.circuit.cells import CELLS, Cell, cell
+from repro.circuit.compiled import CompiledProgram, PackedTimingProgram, compile_netlist
 from repro.circuit.library import CellTiming, TechnologyLibrary, default_library
 from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
 from repro.circuit.builder import NetlistBuilder
@@ -26,6 +30,9 @@ __all__ = [
     "CELLS",
     "Cell",
     "cell",
+    "CompiledProgram",
+    "PackedTimingProgram",
+    "compile_netlist",
     "CellTiming",
     "TechnologyLibrary",
     "default_library",

@@ -1,0 +1,550 @@
+"""Compiled bit-packed netlist programs: 64 simulation cycles per word.
+
+This module lowers a :class:`~repro.circuit.netlist.Netlist` into a
+structure-of-arrays *program* that NumPy can execute without touching the
+Python object graph on the hot path:
+
+* nets become dense integer IDs into a value matrix,
+* gates become per-(level, cell) batches of operand/result index arrays,
+* trace bits are packed 64 cycles per ``uint64`` word, so one bitwise
+  NumPy operation evaluates a gate batch for 64 transitions at once.
+
+Two programs are provided:
+
+:class:`CompiledProgram`
+    Zero-delay logic evaluation.  Bit-exact with the reference per-gate
+    ``uint8`` loop in :meth:`Netlist.evaluate`; used transparently by
+    :meth:`Netlist.evaluate` / :meth:`Netlist.compute_words` for 1-D
+    stimulus arrays.
+
+:class:`PackedTimingProgram`
+    The timing half of the compiled engine.  Per-gate transport delays
+    from a :class:`~repro.circuit.sdf.DelayAnnotation` give every net a
+    *finite* set of possible final-transition arrival times (path sums of
+    delays).  For each net ``n`` and each possible arrival value ``v``
+    the program materialises a packed mask ``M[n, v] = (arrival(n) >= v)``
+    and propagates it levelwise with pure bitwise OR/AND operations::
+
+        arrival(n) >= v  <=>  changed(n) and
+                              OR_i ( arrival(in_i) >= lift_i(v) )
+
+    where ``lift_i(v)`` is the smallest value ``w`` in the arrival set of
+    input ``i`` with ``w + delay(n) >= v``.  Because every threshold is a
+    float64 sum built with the *same additions* the dense float simulator
+    performs, the masks are bit-exact with the reference arrival-time
+    propagation — there is no quantisation.  The number of packed
+    operations is proportional to the number of (net, value) thresholds
+    and *independent of the trace length per word*, which is what buys
+    the order-of-magnitude speedup over the dense float path.
+
+    When per-instance delay variation makes the arrival sets explode
+    (every path a distinct float sum), compilation aborts with
+    :class:`~repro.exceptions.CompilationError` and callers fall back to
+    the dense reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.cells import cell
+from repro.exceptions import CompilationError, SimulationError
+
+#: Number of trace cycles packed into one engine word.
+WORD_BITS = 64
+
+#: Net name of the always-zero / always-one constants (mirrors netlist.py;
+#: imported lazily there to avoid a circular import).
+_CONST0 = "const0"
+_CONST1 = "const1"
+
+
+def packed_word_count(length: int) -> int:
+    """Number of ``uint64`` words needed to hold ``length`` cycles."""
+    return (int(length) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis, 64 cycles per ``uint64`` word.
+
+    Bit ``i`` of word ``j`` (LSB first) holds cycle ``64 * j + i``.  The
+    tail of the last word is zero-padded.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    length = bits.shape[-1]
+    words = packed_word_count(length)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = words * 8 - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1)
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand words back into 0/1 ``uint8`` cycles."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return np.unpackbits(words.view(np.uint8), axis=-1, count=int(length),
+                         bitorder="little")
+
+
+def rows_to_words(rows: np.ndarray, length: int) -> np.ndarray:
+    """Assemble packed per-bit rows (LSB first) into ``uint64`` words.
+
+    ``rows`` is a ``(bits, words)`` packed matrix; the result is a
+    ``(length,)`` array whose bit ``k`` comes from ``rows[k]``.
+    """
+    bits = unpack_bits(rows, length)
+    words = np.zeros(length, dtype=np.uint64)
+    for position in range(rows.shape[0]):
+        words |= bits[position].astype(np.uint64) << np.uint64(position)
+    return words
+
+
+def pack_word_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Pack bit ``positions[k]`` of integer ``values`` into packed rows.
+
+    Returns a ``(len(positions), W)`` matrix — the packed per-net stimulus
+    of a bus carrying ``values`` — without materialising per-cycle
+    ``uint8`` arrays for more than one bit at a time.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    rows = np.empty((len(positions), packed_word_count(values.shape[0])), dtype=np.uint64)
+    for k, position in enumerate(positions):
+        rows[k] = pack_bits(((values >> np.uint64(position)) & np.uint64(1)).astype(np.uint8))
+    return rows
+
+
+@dataclass(frozen=True)
+class _EvalBatch:
+    """All gates of one (level, cell) group: one kernel call per batch."""
+
+    kernel: object
+    out_ids: np.ndarray
+    operand_ids: Tuple[np.ndarray, ...]
+
+
+class CompiledProgram:
+    """A netlist lowered to integer net IDs and levelised gate batches.
+
+    The program is immutable and safe to cache per netlist; it holds no
+    simulation state.  All evaluation methods allocate a fresh value
+    matrix of shape ``(num_nets, words)``.
+    """
+
+    def __init__(self, netlist) -> None:
+        self.netlist = netlist
+        order = netlist.topological_order()
+
+        net_id: Dict[str, int] = {_CONST0: 0, _CONST1: 1}
+        for net in netlist.inputs:
+            net_id[net] = len(net_id)
+        for gate in order:
+            net_id[gate.output] = len(net_id)
+        self.net_id = net_id
+        self.num_nets = len(net_id)
+        self.input_ids = np.array([net_id[net] for net in netlist.inputs], dtype=np.int64)
+
+        # Levelise: level 0 = inputs/constants, gates at 1 + max(input levels).
+        level: Dict[int, int] = {i: 0 for i in range(2 + len(netlist.inputs))}
+        self.gate_level: Dict[str, int] = {}
+        grouped: Dict[Tuple[int, str], List] = {}
+        for gate in order:
+            gate_level = 1 + max(level[net_id[net]] for net in gate.inputs)
+            level[net_id[gate.output]] = gate_level
+            self.gate_level[gate.output] = gate_level
+            grouped.setdefault((gate_level, gate.cell), []).append(gate)
+        self.num_levels = max(level.values(), default=0)
+
+        self.batches: List[_EvalBatch] = []
+        for (gate_level, cell_name) in sorted(grouped):
+            gates = grouped[(gate_level, cell_name)]
+            cell_def = cell(cell_name)
+            if cell_def.packed_function is None:
+                raise CompilationError(
+                    f"cell {cell_name!r} has no packed kernel; cannot compile "
+                    f"netlist {netlist.name!r}")
+            out_ids = np.array([net_id[g.output] for g in gates], dtype=np.int64)
+            operand_ids = tuple(
+                np.array([net_id[g.inputs[pin]] for g in gates], dtype=np.int64)
+                for pin in range(cell_def.arity))
+            self.batches.append(_EvalBatch(cell_def.packed_function, out_ids, operand_ids))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_packed(self, packed_inputs: Mapping[str, np.ndarray], words: int) -> np.ndarray:
+        """Execute the program on packed stimulus rows.
+
+        ``packed_inputs`` maps every primary input net to a ``(words,)``
+        ``uint64`` row.  Returns the full ``(num_nets, words)`` value
+        matrix (constants included).
+        """
+        values = np.empty((self.num_nets, words), dtype=np.uint64)
+        values[0] = 0
+        values[1] = ~np.uint64(0)
+        for net, row in packed_inputs.items():
+            values[self.net_id[net]] = row
+        for batch in self.batches:
+            operands = [values[ids] for ids in batch.operand_ids]
+            values[batch.out_ids] = batch.kernel(*operands)
+        return values
+
+    def evaluate_bits(self, bit_inputs: Mapping[str, np.ndarray], length: int) -> np.ndarray:
+        """Pack per-net 0/1 stimulus of ``length`` cycles and execute."""
+        words = packed_word_count(length)
+        packed = {net: pack_bits(bits) for net, bits in bit_inputs.items()}
+        return self.run_packed(packed, words)
+
+    def evaluate(self, bit_inputs: Mapping[str, np.ndarray], length: int
+                 ) -> Dict[str, np.ndarray]:
+        """Packed evaluation returning every net as a ``(length,)`` 0/1 array.
+
+        This is the compiled replacement for the reference per-gate loop
+        in :meth:`Netlist.evaluate`; inputs must already be validated.
+        """
+        values = self.run_packed(
+            {net: pack_bits(np.ascontiguousarray(bits, dtype=np.uint8))
+             for net, bits in bit_inputs.items()},
+            packed_word_count(length))
+        unpacked = unpack_bits(values, length)
+        return {net: unpacked[row] for net, row in self.net_id.items()}
+
+    def decode_words(self, values: np.ndarray, nets: Sequence[str], length: int) -> np.ndarray:
+        """Assemble packed rows of ``nets`` (LSB first) into integer words."""
+        return rows_to_words(values[[self.net_id[net] for net in nets]], length)
+
+    def compute_words(self, bit_inputs: Mapping[str, np.ndarray], length: int,
+                      output_nets: Sequence[str]) -> np.ndarray:
+        """Packed end-to-end: evaluate and decode only the requested bus."""
+        values = self.evaluate_bits(bit_inputs, length)
+        return self.decode_words(values, output_nets, length)
+
+    def evaluate_transitions(self, bit_inputs: Mapping[str, np.ndarray],
+                             transitions: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Old/new settled values for ``transitions`` back-to-back transitions.
+
+        ``bit_inputs`` holds ``transitions + 1`` cycles per net; the trace
+        is evaluated once and the "new" matrix is derived with a one-bit
+        cross-word funnel shift instead of a second evaluation pass.
+        Both returned matrices span ``packed_word_count(transitions)``
+        words; bits at positions ``>= transitions`` are unspecified.
+        """
+        full = self.evaluate_bits(bit_inputs, transitions + 1)
+        shifted = full >> np.uint64(1)
+        shifted[:, :-1] |= full[:, 1:] << np.uint64(63)
+        words = packed_word_count(transitions)
+        return full[:, :words], shifted[:, :words]
+
+
+@dataclass(frozen=True)
+class _ThresholdBatch:
+    """All threshold rows of one (level, fan-in count) group.
+
+    After renumbering, the rows of a batch occupy the contiguous block
+    ``[start, stop)`` of the mask matrix, so the propagation writes a
+    slice instead of scattering through an index array.  Clock-specialised
+    plans restrict a batch to a subset of its rows; ``out_rows`` then
+    carries the explicit (non-contiguous) targets.
+    """
+
+    start: int
+    stop: int
+    changed_rows: np.ndarray
+    source_rows: Tuple[np.ndarray, ...]
+    out_rows: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class _TimingPlan:
+    """Propagation schedule restricted to the cone of a set of root rows."""
+
+    runtime_rows: np.ndarray
+    runtime_nets: np.ndarray
+    batches: List[_ThresholdBatch]
+
+
+class PackedTimingProgram:
+    """Arrival-threshold masks of a delay-annotated netlist, fully packed.
+
+    See the module docstring for the algorithm.  The program is compiled
+    once per (netlist, annotation) pair; :meth:`run` then produces the
+    mask matrix for one packed chunk of transitions, and
+    :meth:`late_rows` maps a clock period to the mask rows that answer
+    ``arrival > clock`` for a list of nets.
+    """
+
+    #: Default ceiling on threshold rows per gate (beyond it, compilation
+    #: aborts and the dense engine takes over).
+    DEFAULT_ROWS_PER_GATE = 48
+
+    def __init__(self, program: CompiledProgram, annotation,
+                 row_limit: Optional[int] = None) -> None:
+        self.program = program
+        netlist = program.netlist
+        if row_limit is None:
+            row_limit = (self.DEFAULT_ROWS_PER_GATE * max(netlist.num_gates, 1)
+                         + len(netlist.inputs) + 64)
+        net_id = program.net_id
+
+        # Per net: sorted ascending arrival-value candidates and the mask
+        # row answering "arrival >= value" for each.  Constants never move.
+        values_of: List[np.ndarray] = [np.empty(0)] * program.num_nets
+        rows_of: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * program.num_nets
+
+        next_row = 1  # row 0 is the all-zero mask
+        runtime_rows: List[int] = []     # rows filled from the changed matrix ...
+        runtime_nets: List[int] = []     # ... and the net each one mirrors
+        for net in netlist.inputs:
+            nid = net_id[net]
+            values_of[nid] = np.array([0.0])
+            rows_of[nid] = np.array([next_row], dtype=np.int64)
+            runtime_rows.append(next_row)
+            runtime_nets.append(nid)
+            next_row += 1
+
+        # node id -> (level, fanin, changed row, source rows)
+        nodes: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
+        for gate in netlist.topological_order():
+            out = net_id[gate.output]
+            delay = annotation.delay_of(gate.name)
+            in_ids = [net_id[net] for net in gate.inputs]
+            lifted = [values_of[i] + delay for i in in_ids if values_of[i].size]
+            if not lifted:
+                continue  # constant-driven: the output can never change
+            values = np.unique(np.concatenate(lifted))
+            rows = np.empty(values.shape[0], dtype=np.int64)
+            rows[0] = next_row  # == changed(gate): filled from the diff matrix
+            runtime_rows.append(next_row)
+            runtime_nets.append(out)
+            changed_row = next_row
+            next_row += 1
+
+            # lift indices per input for every non-minimal threshold
+            source_table = []
+            for i in in_ids:
+                if not values_of[i].size:
+                    continue
+                indices = np.searchsorted(values_of[i] + delay, values[1:], side="left")
+                source_table.append((rows_of[i], indices))
+            level = program.gate_level[gate.output]
+            dedup: Dict[Tuple[int, ...], int] = {}
+            for k in range(1, values.shape[0]):
+                sources = []
+                for input_rows, indices in source_table:
+                    idx = indices[k - 1]
+                    if idx < input_rows.shape[0]:
+                        sources.append(int(input_rows[idx]))
+                key = tuple(sorted(set(sources)))
+                if not key:  # unreachable threshold: mask is identically zero
+                    rows[k] = 0
+                    continue
+                existing = dedup.get(key)
+                if existing is not None:
+                    rows[k] = existing
+                    continue
+                rows[k] = dedup[key] = next_row
+                nodes[next_row] = (level, len(key), changed_row, key)
+                next_row += 1
+                if next_row > row_limit:
+                    raise CompilationError(
+                        f"timing program for {netlist.name!r} exceeds "
+                        f"{row_limit} threshold rows (irregular delays); "
+                        f"use the dense reference engine")
+            values_of[out] = values
+            rows_of[out] = rows
+
+        # Backward-reachability pruning: only rows that can answer a
+        # lateness query on a sampleable net (any bus or primary output),
+        # directly or through a lift chain, are worth propagating.
+        sampleable = set(netlist.outputs)
+        for bus_nets in netlist.buses.values():
+            sampleable.update(bus_nets)
+        alive = {0}
+        stack: List[int] = []
+        for net in sampleable:
+            nid = net_id.get(net)
+            if nid is not None:
+                stack.extend(int(row) for row in rows_of[nid])
+        while stack:
+            row = stack.pop()
+            if row in alive:
+                continue
+            alive.add(row)
+            node = nodes.get(row)
+            if node is not None:
+                stack.append(node[2])  # the gate's own changed mask
+                stack.extend(node[3])
+        runtime_alive = [(row, nid) for row, nid in zip(runtime_rows, runtime_nets)
+                         if row in alive]
+
+        # Renumber: row 0, then the runtime block, then batch-contiguous
+        # threshold rows ordered by (level, fanin) so every batch writes
+        # one slice of the mask matrix.
+        remap = np.full(next_row, -1, dtype=np.int64)
+        remap[0] = 0
+        cursor = 1
+        for row, _ in runtime_alive:
+            remap[row] = cursor
+            cursor += 1
+        self.runtime_nets = np.array([nid for _, nid in runtime_alive], dtype=np.int64)
+        self.runtime_stop = cursor
+
+        grouped: Dict[Tuple[int, int], List[int]] = {}
+        for row, (level, fanin, _, _) in nodes.items():
+            if row in alive:
+                grouped.setdefault((level, fanin), []).append(row)
+        self.batches: List[_ThresholdBatch] = []
+        for (level, fanin), members in sorted(grouped.items()):
+            start = cursor
+            for row in members:
+                remap[row] = cursor
+                cursor += 1
+            changed_rows = np.empty(len(members), dtype=np.int64)
+            source_rows = tuple(np.empty(len(members), dtype=np.int64)
+                                for _ in range(fanin))
+            for position, row in enumerate(members):
+                _, _, changed_row, key = nodes[row]
+                changed_rows[position] = remap[changed_row]
+                for pin in range(fanin):
+                    source_rows[pin][position] = remap[key[pin]]
+            self.batches.append(_ThresholdBatch(start=start, stop=cursor,
+                                                changed_rows=changed_rows,
+                                                source_rows=source_rows))
+
+        self.num_rows = cursor
+        self.values_of = values_of
+        self.rows_of = [remap[rows] for rows in rows_of]
+        self._dependencies = {
+            int(remap[row]): (int(remap[node[2]]),
+                              tuple(int(remap[source]) for source in node[3]))
+            for row, node in nodes.items() if row in alive}
+        self._plan_cache: Dict[frozenset, _TimingPlan] = {}
+
+    # ------------------------------------------------------------------ #
+    def plan_for(self, root_rows: Sequence[int]) -> "_TimingPlan":
+        """Specialised propagation plan covering only ``root_rows``.
+
+        A trace run at a fixed set of clock periods samples a handful of
+        lateness thresholds; everything not in their backward cone is
+        dead work.  Plans are cached per root set — for the paper's
+        three-clock sweeps they shrink the propagation to a quarter of
+        the rows or less.
+        """
+        key = frozenset(int(row) for row in root_rows if row)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        alive = set()
+        stack = list(key)
+        while stack:
+            row = stack.pop()
+            if row in alive or row == 0:
+                continue
+            alive.add(row)
+            node = self._dependencies.get(row)
+            if node is not None:
+                stack.append(node[0])
+                stack.extend(node[1])
+
+        runtime_selection = np.array(
+            sorted(row for row in alive if row < self.runtime_stop), dtype=np.int64)
+        plan_batches: List[_ThresholdBatch] = []
+        for batch in self.batches:
+            positions = np.array([k for k, row in enumerate(range(batch.start, batch.stop))
+                                  if row in alive], dtype=np.int64)
+            if not positions.size:
+                continue
+            if positions.size == batch.stop - batch.start:
+                plan_batches.append(batch)
+                continue
+            plan_batches.append(_ThresholdBatch(
+                start=batch.start, stop=batch.stop,
+                changed_rows=batch.changed_rows[positions],
+                source_rows=tuple(rows[positions] for rows in batch.source_rows),
+                out_rows=positions + batch.start))
+        plan = _TimingPlan(
+            runtime_rows=runtime_selection,
+            runtime_nets=self.runtime_nets[runtime_selection - 1],
+            batches=plan_batches)
+        self._plan_cache[key] = plan
+        return plan
+
+    def run(self, changed: np.ndarray, plan: Optional["_TimingPlan"] = None) -> np.ndarray:
+        """Propagate threshold masks for one packed chunk.
+
+        ``changed`` is the ``(num_nets, words)`` packed old-vs-new diff of
+        settled values.  Returns the ``(num_rows, words)`` mask matrix;
+        with a ``plan`` only the rows in the plan's cone hold defined
+        values (exactly the ones its roots sample).
+        """
+        words = changed.shape[1]
+        masks = np.empty((self.num_rows, words), dtype=np.uint64)
+        masks[0] = 0
+        if plan is None:
+            masks[1:self.runtime_stop] = changed[self.runtime_nets]
+            batches: Sequence[_ThresholdBatch] = self.batches
+        else:
+            masks[plan.runtime_rows] = changed[plan.runtime_nets]
+            batches = plan.batches
+        for batch in batches:
+            if batch.out_rows is None:
+                block = masks[batch.start:batch.stop]
+                np.take(masks, batch.source_rows[0], axis=0, out=block)
+            else:
+                block = masks[batch.source_rows[0]]
+            for source in batch.source_rows[1:]:
+                block |= masks[source]
+            block &= masks[batch.changed_rows]
+            if batch.out_rows is not None:
+                masks[batch.out_rows] = block
+        return masks
+
+    def late_rows(self, nets: Sequence[str], clock_period: float) -> np.ndarray:
+        """Mask row answering ``arrival > clock_period`` for each net.
+
+        Nets that can never be late at this clock map to row 0 (all-zero).
+        Only sampleable nets (primary outputs and bus members) survive
+        compilation; querying any other net raises.
+        """
+        rows = np.zeros(len(nets), dtype=np.int64)
+        for k, net in enumerate(nets):
+            nid = self.program.net_id[net]
+            values = self.values_of[nid]
+            idx = int(np.searchsorted(values, clock_period, side="right"))
+            if idx < values.shape[0]:
+                row = int(self.rows_of[nid][idx])
+                if row < 0:
+                    raise SimulationError(
+                        f"net {net!r} was pruned from the timing program and "
+                        "cannot be sampled")
+                rows[k] = row
+        return rows
+
+
+def compile_netlist(netlist) -> CompiledProgram:
+    """Lower ``netlist`` into a :class:`CompiledProgram` (no caching here;
+    use :meth:`Netlist.compiled` for the cached accessor)."""
+    return CompiledProgram(netlist)
+
+
+def packed_stimulus(netlist, bit_inputs: Mapping[str, np.ndarray]) -> Tuple[int, int]:
+    """Validate that a stimulus dict is eligible for the packed engine.
+
+    Returns ``(length, words)``; raises :class:`SimulationError` when the
+    per-net arrays disagree on length.
+    """
+    length: Optional[int] = None
+    for net, bits in bit_inputs.items():
+        size = int(np.asarray(bits).shape[0])
+        if length is None:
+            length = size
+        elif size != length:
+            raise SimulationError(
+                f"stimulus arrays disagree on trace length ({size} vs {length})")
+    if length is None:
+        raise SimulationError(f"netlist {netlist.name!r} received an empty stimulus")
+    return length, packed_word_count(length)

@@ -9,17 +9,25 @@ constant values.
 Buses (e.g. the 32 bits of operand ``A``) are registered by the adder
 generators so that encoding integer operands into per-net values and
 decoding output words back into integers is uniform across the library.
+
+Evaluation comes in two tiers.  The *reference* tier walks the gates in
+topological order with per-gate ``uint8`` NumPy calls (exact, works on
+any stimulus shape).  The *compiled* tier lowers the netlist once into a
+bit-packed :class:`~repro.circuit.compiled.CompiledProgram` (64 cycles
+per ``uint64`` word) and is used transparently by :meth:`Netlist.evaluate`
+and :meth:`Netlist.compute_words` whenever the stimulus is a batch of
+1-D cycle arrays; both tiers are bit-exact against each other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuit.cells import CELLS, Cell, cell
-from repro.exceptions import NetlistError, SimulationError
+from repro.exceptions import CompilationError, NetlistError, SimulationError
 from repro.utils.bitops import mask
 
 #: Name of the always-zero net.
@@ -64,6 +72,8 @@ class Netlist:
         self._gate_names: Dict[str, Gate] = {}
         self._nets: Dict[str, None] = {CONST0: None, CONST1: None}
         self._order_cache: Optional[List[Gate]] = None
+        self._eval_plan: Optional[List[Tuple[Callable, Tuple[str, ...], str]]] = None
+        self._compiled_cache = None  # CompiledProgram, or False when uncompilable
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -74,7 +84,7 @@ class Netlist:
             raise NetlistError(f"net {net!r} already exists in netlist {self.name!r}")
         self._nets[net] = None
         self.inputs.append(net)
-        self._order_cache = None
+        self._invalidate_caches()
         return net
 
     def add_output(self, net: str) -> str:
@@ -103,7 +113,7 @@ class Netlist:
         self._drivers[output] = gate
         self._gate_names[name] = gate
         self.gates.append(gate)
-        self._order_cache = None
+        self._invalidate_caches()
         return gate
 
     def register_bus(self, name: str, nets: Sequence[str]) -> None:
@@ -162,6 +172,37 @@ class Netlist:
     # ------------------------------------------------------------------ #
     # Ordering and evaluation
     # ------------------------------------------------------------------ #
+    def _invalidate_caches(self) -> None:
+        self._order_cache = None
+        self._eval_plan = None
+        self._compiled_cache = None
+
+    def evaluation_plan(self) -> List[Tuple[Callable, Tuple[str, ...], str]]:
+        """Cached ``(cell function, input nets, output net)`` triples.
+
+        Resolving each gate's cell definition once here keeps the
+        reference evaluation loop free of per-call dictionary lookups.
+        """
+        if self._eval_plan is None:
+            self._eval_plan = [(cell(gate.cell).function, gate.inputs, gate.output)
+                               for gate in self.topological_order()]
+        return self._eval_plan
+
+    def compiled(self):
+        """The cached bit-packed program for this netlist, or ``None``.
+
+        Compilation happens at most once per topology; netlists using a
+        cell without a packed kernel simply report ``None`` and stay on
+        the reference evaluation path.
+        """
+        if self._compiled_cache is None:
+            from repro.circuit.compiled import compile_netlist
+            try:
+                self._compiled_cache = compile_netlist(self)
+            except CompilationError:
+                self._compiled_cache = False
+        return self._compiled_cache or None
+
     def topological_order(self) -> List[Gate]:
         """Gates ordered so every gate appears after its drivers.
 
@@ -182,28 +223,63 @@ class Netlist:
         self._order_cache = list(self.gates)
         return self._order_cache
 
-    def evaluate(self, input_values: Mapping[str, BitValues]) -> Dict[str, np.ndarray]:
+    def evaluate(self, input_values: Mapping[str, BitValues],
+                 engine: str = "auto") -> Dict[str, np.ndarray]:
         """Zero-delay logic evaluation.
 
         ``input_values`` maps every primary input net to a 0/1 scalar or
         array; all arrays must share a shape.  Returns the value of every
         net.
+
+        ``engine`` selects the evaluation tier: ``"auto"`` (default) uses
+        the compiled bit-packed program whenever the stimulus is a batch
+        of equally long 1-D arrays, ``"compiled"`` requires it, and
+        ``"reference"`` forces the per-gate ``uint8`` loop.  All tiers
+        are bit-exact.
         """
-        values: Dict[str, np.ndarray] = {
-            CONST0: np.asarray(0, dtype=np.uint8),
-            CONST1: np.asarray(1, dtype=np.uint8),
-        }
+        if engine not in ("auto", "compiled", "reference"):
+            raise SimulationError(f"unknown evaluation engine {engine!r}")
+        checked: Dict[str, np.ndarray] = {}
         for net in self.inputs:
             if net not in input_values:
                 raise SimulationError(f"missing value for primary input {net!r}")
             arr = np.asarray(input_values[net], dtype=np.uint8)
             if arr.size and arr.max() > 1:
                 raise SimulationError(f"input {net!r} carries non-binary values")
-            values[net] = arr
-        for gate in self.topological_order():
-            operands = [values[net] for net in gate.inputs]
-            values[gate.output] = gate.cell_def.evaluate(*operands)
+            checked[net] = arr
+
+        if engine != "reference":
+            length = self._packed_length(checked)
+            program = self.compiled() if length is not None else None
+            if program is not None:
+                return program.evaluate(checked, length)
+            if engine == "compiled":
+                raise SimulationError(
+                    f"netlist {self.name!r} cannot use the compiled engine here "
+                    "(no packed program, or stimulus is not a 1-D cycle batch)")
+
+        values: Dict[str, np.ndarray] = {
+            CONST0: np.asarray(0, dtype=np.uint8),
+            CONST1: np.asarray(1, dtype=np.uint8),
+        }
+        values.update(checked)
+        for function, input_nets, output in self.evaluation_plan():
+            values[output] = function(*[values[net] for net in input_nets])
         return values
+
+    def _packed_length(self, checked: Mapping[str, np.ndarray]) -> Optional[int]:
+        """Trace length when the stimulus fits the packed engine, else None."""
+        length: Optional[int] = None
+        for arr in checked.values():
+            if arr.ndim != 1:
+                return None
+            if length is None:
+                length = int(arr.shape[0])
+            elif int(arr.shape[0]) != length:
+                return None
+        if not length:
+            return None
+        return length
 
     def evaluate_outputs(self, input_values: Mapping[str, BitValues]) -> List[np.ndarray]:
         """Zero-delay evaluation returning only the primary outputs, in order.
@@ -258,24 +334,42 @@ class Netlist:
         return words
 
     def compute_words(self, operand_words: Mapping[str, np.ndarray],
-                      output_bus: str = "S") -> np.ndarray:
+                      output_bus: str = "S", engine: str = "auto") -> np.ndarray:
         """Evaluate the netlist on word-level operands and decode an output bus.
 
         Keys of ``operand_words`` may be registered bus names (values are
         integer words) or individual primary-input nets (values are 0/1).
+        On the compiled engine only the requested output bus is unpacked
+        from the packed value matrix, which keeps word-level
+        characterisation traffic proportional to the bus width rather
+        than the netlist size.
         """
+        if engine not in ("auto", "compiled", "reference"):
+            raise SimulationError(f"unknown evaluation engine {engine!r}")
+        if output_bus not in self.buses:
+            raise NetlistError(f"netlist {self.name!r} has no bus {output_bus!r}")
         input_values: Dict[str, np.ndarray] = {}
         for name, words in operand_words.items():
             if name in self.buses:
                 input_values.update(self.encode_bus(name, words))
             elif name in self.inputs:
-                input_values[name] = np.asarray(words, dtype=np.uint8)
+                arr = np.asarray(words, dtype=np.uint8)
+                if arr.size and arr.max() > 1:
+                    raise SimulationError(f"input {name!r} carries non-binary values")
+                input_values[name] = arr
             else:
                 raise NetlistError(f"unknown operand {name!r}: not a bus or input net")
         missing = [net for net in self.inputs if net not in input_values]
         if missing:
             raise SimulationError(f"operands do not cover primary inputs {missing}")
-        values = self.evaluate(input_values)
+
+        if engine != "reference":
+            length = self._packed_length(input_values)
+            program = self.compiled() if length is not None else None
+            if program is not None:
+                return program.compute_words(input_values, length, self.buses[output_bus])
+
+        values = self.evaluate(input_values, engine=engine)
         return self.decode_bus(output_bus, values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -32,6 +32,10 @@ class SimulationError(ReproError):
     """A logic or timing simulation failed (unresolved nets, bad stimulus)."""
 
 
+class CompilationError(ReproError):
+    """A netlist could not be lowered to a compiled bit-packed program."""
+
+
 class ModelError(ReproError):
     """A machine-learning model is used before fitting or with bad shapes."""
 

@@ -9,7 +9,10 @@ more fidelity is wanted.
 ``characterize_design`` performs the per-design heavy lifting shared by
 all figures: synthesize the netlist, compute diamond/golden outputs, and
 run the delay-annotated timing simulation at every clock period of the
-plan.
+plan.  The gate-level settled outputs are additionally computed with
+:meth:`Netlist.compute_words` on the compiled bit-packed engine, both as
+a structural cross-check against the behavioural golden model and so
+downstream consumers can characterise from the netlist alone.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.core.exact import ExactAdder
 from repro.core.isa import InexactSpeculativeAdder, StructuralFaultStats
 from repro.exceptions import ConfigurationError
 from repro.experiments.designs import DesignEntry, paper_design_entries
+from repro.ml.features import gold_words_from_netlist
 from repro.ml.model import TimingModelOptions
 from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_netlist, synthesize
 from repro.timing.clocking import ClockPlan
@@ -111,6 +115,7 @@ class DesignCharacterization:
     gold_words: np.ndarray
     timing_traces: Dict[float, TimingErrorTrace]
     structural_stats: Optional[StructuralFaultStats] = None
+    netlist_words: Optional[np.ndarray] = None
 
     @property
     def name(self) -> str:
@@ -167,6 +172,14 @@ def characterize_design(entry: DesignEntry, trace: OperandTrace, config: StudyCo
         else:
             gold = model.add_many(trace.a, trace.b)
 
+    # Gate-level settled outputs from the compiled packed engine: the
+    # netlist's own golden reference, checked against the behavioural one.
+    netlist_words = gold_words_from_netlist(synthesized.netlist, trace)
+    if not np.array_equal(netlist_words, gold):
+        raise ConfigurationError(
+            f"synthesized netlist of {entry.name} disagrees with its behavioural "
+            "golden model; the synthesis flow is unfaithful")
+
     simulator = make_simulator(config.simulator, synthesized)
     timing_traces = simulator.run_trace_multi(trace.as_operands(), config.clock_plan.periods)
 
@@ -178,4 +191,5 @@ def characterize_design(entry: DesignEntry, trace: OperandTrace, config: StudyCo
         gold_words=gold,
         timing_traces=timing_traces,
         structural_stats=structural_stats,
+        netlist_words=netlist_words,
     )

@@ -10,21 +10,26 @@ The simulator is implemented with a plain event queue in Python and is
 therefore orders of magnitude slower than
 :class:`repro.timing.fast_sim.FastTimingSimulator`; it is used for unit
 tests, for validating the fast simulator (ablation A2 in DESIGN.md) and
-for small glitch-sensitivity studies.
+for small glitch-sensitivity studies.  Trace runs lean on the compiled
+bit-packed logic engine where they can: the settled values that seed
+every transition's initial state are computed once for the whole trace,
+64 cycles per word, before the per-cycle event loops start.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
+from repro.circuit.netlist import Netlist
 from repro.circuit.sdf import DelayAnnotation
 from repro.exceptions import SimulationError
 from repro.timing.errors import TimingErrorTrace
+from repro.timing.operands import expand_operand_traces, trace_length
 
 
 @dataclass
@@ -34,14 +39,14 @@ class Waveform:
     changes: List[Tuple[float, int]]
 
     def value_at(self, time: float) -> int:
-        """Value of the net at ``time`` (changes at exactly ``time`` are visible)."""
-        value = self.changes[0][1]
-        for change_time, change_value in self.changes:
-            if change_time <= time:
-                value = change_value
-            else:
-                break
-        return value
+        """Value of the net at ``time`` (changes at exactly ``time`` are visible).
+
+        Change lists are time-sorted, so the lookup bisects instead of
+        scanning — this is called once per output net, clock period and
+        cycle when sampling a trace.
+        """
+        index = bisect_right(self.changes, (time, float("inf")))
+        return self.changes[index - 1][1]
 
     @property
     def final_value(self) -> int:
@@ -176,24 +181,28 @@ class EventDrivenSimulator:
         for clk in clock_periods:
             if clk <= 0:
                 raise SimulationError(f"clock period must be positive, got {clk}")
-        vectors, bit_traces = self._word_trace_to_inputs(operands)
-        if len(vectors) < 2:
+        bit_traces = expand_operand_traces(self.netlist, operands)
+        total = trace_length(bit_traces)
+        if total < 2:
             raise SimulationError("a timing trace needs at least two input vectors")
+        vectors = [{net: int(trace[index]) for net, trace in bit_traces.items()}
+                   for index in range(total)]
         nets = self._output_nets(output_bus)
-        transitions = len(vectors) - 1
+        transitions = total - 1
         sampled = {clk: np.zeros(transitions, dtype=np.uint64) for clk in clock_periods}
         settled = np.zeros(transitions, dtype=np.uint64)
 
-        # Settled values of every net for every vector, computed vectorised once;
-        # they seed each transition's initial state without a per-cycle logic pass.
-        all_values = self.netlist.evaluate({net: trace for net, trace in bit_traces.items()})
+        # Settled values of every net for every vector, computed once by the
+        # packed engine (64 cycles per word); they seed each transition's
+        # initial state without a per-cycle logic pass.
+        all_values = self.netlist.evaluate(bit_traces)
         net_names = list(all_values.keys())
-        value_matrix = {net: np.broadcast_to(np.asarray(all_values[net], dtype=np.uint8),
-                                             (len(vectors),))
-                        for net in net_names}
+        value_matrix = np.vstack([
+            np.broadcast_to(np.asarray(all_values[net], dtype=np.uint8), (total,))
+            for net in net_names])
 
-        for index in range(1, len(vectors)):
-            initial = {net: int(value_matrix[net][index - 1]) for net in net_names}
+        for index in range(1, total):
+            initial = dict(zip(net_names, value_matrix[:, index - 1].tolist()))
             waveforms = self.simulate_transition(vectors[index - 1], vectors[index],
                                                  initial_values=initial)
             settled[index - 1] = self.settled_outputs(waveforms, output_bus)
@@ -214,26 +223,3 @@ class EventDrivenSimulator:
         if output_bus not in self.netlist.buses:
             raise SimulationError(f"netlist {self.netlist.name!r} has no bus {output_bus!r}")
         return self.netlist.buses[output_bus]
-
-    def _word_trace_to_inputs(self, operands: Mapping[str, np.ndarray]
-                              ) -> Tuple[List[Dict[str, int]], Dict[str, np.ndarray]]:
-        length = None
-        bit_traces: Dict[str, np.ndarray] = {}
-        for name, values in operands.items():
-            values = np.asarray(values)
-            if name in self.netlist.buses:
-                bit_traces.update(self.netlist.encode_bus(name, values.astype(np.uint64)))
-            elif name in self.netlist.inputs:
-                bit_traces[name] = values.astype(np.uint8)
-            else:
-                raise SimulationError(f"unknown operand {name!r}: not a bus or input net")
-            if length is None:
-                length = int(values.shape[0])
-            elif int(values.shape[0]) != length:
-                raise SimulationError("all operand traces must have the same length")
-        missing = [net for net in self.netlist.inputs if net not in bit_traces]
-        if missing:
-            raise SimulationError(f"operand trace does not drive inputs {missing}")
-        vectors = [{net: int(trace[index]) for net, trace in bit_traces.items()}
-                   for index in range(length or 0)]
-        return vectors, bit_traces

@@ -16,51 +16,105 @@ benchmark; the agreement on error statistics is close because arithmetic
 circuits driven by registered inputs glitch mostly on nets that also make
 a final transition.
 
-The payoff is speed: all cycles are simulated simultaneously with NumPy,
-levelised over the netlist, which is what makes trace-level
-characterisation of twelve designs at three clock periods tractable.
+Two execution engines implement the same model, bit-exactly:
+
+``"compiled"`` (default when available)
+    The packed engine: settled values come from the compiled bit-packed
+    logic program (64 cycles per ``uint64`` word) and lateness is
+    resolved by the arrival-threshold masks of
+    :class:`~repro.circuit.compiled.PackedTimingProgram`, so the entire
+    trace is simulated with bitwise word operations and no per-cycle
+    float arithmetic.
+
+``"reference"``
+    The dense float path: per-gate ``uint8`` logic evaluation and a
+    float64 arrival array per net and cycle.  It is kept as the
+    specification of the model, as the fallback for netlists or delay
+    annotations the packed engine cannot compile (e.g. heavy
+    per-instance delay variation), and as the baseline the throughput
+    benchmark measures the compiled engine against.
+
+``engine="auto"`` (the default) picks ``"compiled"`` when the netlist and
+annotation compile, and silently falls back to ``"reference"`` otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.circuit.compiled import PackedTimingProgram, rows_to_words
 from repro.circuit.netlist import CONST0, CONST1, Netlist
 from repro.circuit.sdf import DelayAnnotation
-from repro.exceptions import SimulationError
+from repro.exceptions import CompilationError, SimulationError
 from repro.timing.errors import TimingErrorTrace
+from repro.timing.operands import expand_operand_traces, trace_length
 
 #: Arrival-time value used for nets that do not switch in a cycle.
 STABLE = -np.inf
+
+#: Engine identifiers accepted by :class:`FastTimingSimulator`.
+ENGINES = ("auto", "compiled", "reference")
+
+#: Target size (bytes) of the packed mask matrix per chunk; keeps the
+#: threshold propagation cache-resident on typical designs.
+_PACKED_CHUNK_BYTES = 8 << 20
 
 
 class FastTimingSimulator:
     """Levelised, vectorised timing simulator for a delay-annotated netlist."""
 
-    def __init__(self, netlist: Netlist, annotation: DelayAnnotation) -> None:
+    def __init__(self, netlist: Netlist, annotation: DelayAnnotation,
+                 engine: str = "auto") -> None:
+        if engine not in ENGINES:
+            raise SimulationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         annotation.validate_against(netlist)
         self.netlist = netlist
         self.annotation = annotation
         self._order = netlist.topological_order()
         self._delays = {gate.name: annotation.delay_of(gate.name) for gate in self._order}
 
+        self._timing_program: Optional[PackedTimingProgram] = None
+        if engine in ("auto", "compiled"):
+            program = netlist.compiled()
+            if program is not None:
+                try:
+                    self._timing_program = PackedTimingProgram(program, annotation)
+                except CompilationError:
+                    self._timing_program = None
+            if self._timing_program is None and engine == "compiled":
+                raise SimulationError(
+                    f"netlist {netlist.name!r} cannot be lowered to the compiled "
+                    "packed timing engine; use engine='auto' or 'reference'")
+        self.engine = "compiled" if self._timing_program is not None else "reference"
+        # When auto falls back to dense timing, logic evaluation may still
+        # use the compiled tier; an explicit "reference" request keeps the
+        # whole pipeline on the seed algorithm (the benchmark baseline).
+        self._dense_eval_engine = "reference" if engine == "reference" else "auto"
+
     # ------------------------------------------------------------------ #
-    # Core transition simulation
+    # Core transition simulation (dense reference model)
     # ------------------------------------------------------------------ #
     def simulate_transitions(self, previous_inputs: Mapping[str, np.ndarray],
                              current_inputs: Mapping[str, np.ndarray]
                              ) -> Dict[str, Dict[str, np.ndarray]]:
-        """Simulate a batch of input transitions.
+        """Simulate a batch of input transitions with the dense model.
 
         ``previous_inputs`` and ``current_inputs`` map every primary input
         net to equal-length 0/1 arrays (one entry per cycle).  Returns a
         dict with per-output-net ``old`` values, ``new`` values and
-        ``arrival`` times.
+        ``arrival`` times.  (Logic values use the fastest available
+        evaluation tier; arrival times are dense float64 — this method is
+        the executable specification of the timing model.)
         """
-        old_values = self.netlist.evaluate(previous_inputs)
-        new_values = self.netlist.evaluate(current_inputs)
+        return self._dense_transitions(previous_inputs, current_inputs, eval_engine="auto")
+
+    def _dense_transitions(self, previous_inputs: Mapping[str, np.ndarray],
+                           current_inputs: Mapping[str, np.ndarray],
+                           eval_engine: str) -> Dict[str, Dict[str, np.ndarray]]:
+        old_values = self.netlist.evaluate(previous_inputs, engine=eval_engine)
+        new_values = self.netlist.evaluate(current_inputs, engine=eval_engine)
 
         arrival: Dict[str, np.ndarray] = {}
         shape = self._stimulus_shape(current_inputs)
@@ -109,18 +163,73 @@ class FastTimingSimulator:
         ``operands`` maps bus names (and optionally scalar input nets) to
         arrays of length ``T``; cycle ``t`` applies the transition from
         vector ``t-1`` to vector ``t``, so ``T - 1`` transitions are
-        simulated.  The expensive arrival-time computation is shared
-        between all requested clock periods.
+        simulated.  The expensive lateness computation is shared between
+        all requested clock periods.  ``chunk_size`` (transitions per
+        batch) applies to the dense reference engine; the compiled
+        engine chooses its own packed chunking to keep the mask matrix
+        cache-resident.
         """
         for clk in clock_periods:
             if clk <= 0:
                 raise SimulationError(f"clock period must be positive, got {clk}")
-        input_trace = self._expand_operands(operands)
-        total = self._trace_length(input_trace)
+        input_trace = expand_operand_traces(self.netlist, operands)
+        total = trace_length(input_trace)
         if total < 2:
             raise SimulationError("a timing trace needs at least two input vectors")
-
         output_nets = self._output_nets(output_bus)
+        if not clock_periods:
+            return {}
+
+        if self.engine == "compiled":
+            return self._run_trace_multi_packed(input_trace, total, clock_periods,
+                                                output_nets)
+        return self._run_trace_multi_dense(input_trace, total, clock_periods,
+                                           output_nets, chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # Packed engine
+    # ------------------------------------------------------------------ #
+    def _run_trace_multi_packed(self, input_trace: Mapping[str, np.ndarray], total: int,
+                                clock_periods: Sequence[float],
+                                output_nets: List[str]) -> Dict[float, TimingErrorTrace]:
+        timing = self._timing_program
+        program = timing.program
+        transitions = total - 1
+        sampled = {clk: np.empty(transitions, dtype=np.uint64) for clk in clock_periods}
+        settled = np.empty(transitions, dtype=np.uint64)
+        late_rows = {clk: timing.late_rows(output_nets, clk) for clk in clock_periods}
+        plan = timing.plan_for(np.concatenate(list(late_rows.values())))
+        out_ids = np.array([program.net_id[net] for net in output_nets], dtype=np.int64)
+
+        words_per_chunk = max(64, _PACKED_CHUNK_BYTES // (8 * timing.num_rows))
+        cycles_per_chunk = words_per_chunk * 64
+        for start in range(0, transitions, cycles_per_chunk):
+            stop = min(start + cycles_per_chunk, transitions)
+            count = stop - start
+            old_values, new_values = program.evaluate_transitions(
+                {net: trace[start:stop + 1] for net, trace in input_trace.items()}, count)
+            masks = timing.run(old_values ^ new_values, plan=plan)
+
+            old_rows = old_values[out_ids]
+            new_rows = new_values[out_ids]
+            diff_rows = old_rows ^ new_rows
+            settled[start:stop] = rows_to_words(new_rows, count)
+            for clk in clock_periods:
+                late = masks[late_rows[clk]]
+                sampled_rows = new_rows ^ (diff_rows & late)
+                sampled[clk][start:stop] = rows_to_words(sampled_rows, count)
+
+        return {clk: TimingErrorTrace(clock_period=clk, sampled_words=sampled[clk],
+                                      settled_words=settled,
+                                      output_width=len(output_nets))
+                for clk in clock_periods}
+
+    # ------------------------------------------------------------------ #
+    # Dense reference engine
+    # ------------------------------------------------------------------ #
+    def _run_trace_multi_dense(self, input_trace: Mapping[str, np.ndarray], total: int,
+                               clock_periods: Sequence[float], output_nets: List[str],
+                               chunk_size: int) -> Dict[float, TimingErrorTrace]:
         transitions = total - 1
         sampled = {clk: np.zeros(transitions, dtype=np.uint64) for clk in clock_periods}
         settled = np.zeros(transitions, dtype=np.uint64)
@@ -129,7 +238,8 @@ class FastTimingSimulator:
             stop = min(start + chunk_size, transitions)
             previous = {net: values[start:stop] for net, values in input_trace.items()}
             current = {net: values[start + 1:stop + 1] for net, values in input_trace.items()}
-            results = self.simulate_transitions(previous, current)
+            results = self._dense_transitions(previous, current,
+                                              eval_engine=self._dense_eval_engine)
             chunk_settled = np.zeros(stop - start, dtype=np.uint64)
             for position, net in enumerate(output_nets):
                 chunk_settled |= results[net]["new"].astype(np.uint64) << np.uint64(position)
@@ -154,36 +264,6 @@ class FastTimingSimulator:
         if output_bus in self.netlist.buses:
             return self.netlist.buses[output_bus]
         raise SimulationError(f"netlist {self.netlist.name!r} has no bus {output_bus!r}")
-
-    def _expand_operands(self, operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Expand word-level buses / scalar nets into per-net bit arrays."""
-        expanded: Dict[str, np.ndarray] = {}
-        length: Optional[int] = None
-        for name, values in operands.items():
-            values = np.asarray(values)
-            if name in self.netlist.buses:
-                bits = self.netlist.encode_bus(name, values.astype(np.uint64))
-                expanded.update(bits)
-            elif name in self.netlist.inputs:
-                expanded[name] = values.astype(np.uint8)
-            else:
-                raise SimulationError(f"unknown operand {name!r}: not a bus or input net")
-            current_length = int(np.asarray(values).shape[0])
-            if length is None:
-                length = current_length
-            elif current_length != length:
-                raise SimulationError("all operand traces must have the same length")
-        missing = [net for net in self.netlist.inputs if net not in expanded]
-        if missing:
-            raise SimulationError(f"operand trace does not drive inputs {missing}")
-        return expanded
-
-    @staticmethod
-    def _trace_length(input_trace: Mapping[str, np.ndarray]) -> int:
-        lengths = {int(values.shape[0]) for values in input_trace.values()}
-        if len(lengths) != 1:
-            raise SimulationError("inconsistent trace lengths after expansion")
-        return lengths.pop()
 
     def _stimulus_shape(self, inputs: Mapping[str, np.ndarray]) -> tuple:
         for net in self.netlist.inputs:
