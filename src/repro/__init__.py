@@ -13,6 +13,8 @@ The package is organised bottom-up:
   timing-error prediction model.
 * :mod:`repro.analysis`, :mod:`repro.workloads` — error metrics,
   distributions and input workloads.
+* :mod:`repro.runtime` — the characterization runtime: job batches
+  scheduled on pluggable serial/multiprocess execution backends.
 * :mod:`repro.experiments` — drivers regenerating Figs. 7-10 of the
   paper.
 
@@ -32,6 +34,7 @@ from repro.core.exact import ExactAdder
 from repro.core.isa import InexactSpeculativeAdder
 from repro.experiments.common import StudyConfig
 from repro.ml.model import BitLevelTimingModel, TimingModelOptions
+from repro.runtime import CharacterizationJob, run_jobs
 from repro.synth.flow import SynthesisOptions, SynthesizedDesign, synthesize
 from repro.timing.clocking import ClockPlan
 from repro.workloads.generators import uniform_workload
@@ -50,5 +53,7 @@ __all__ = [
     "BitLevelTimingModel",
     "TimingModelOptions",
     "StudyConfig",
+    "CharacterizationJob",
+    "run_jobs",
     "uniform_workload",
 ]

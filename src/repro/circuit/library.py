@@ -105,6 +105,25 @@ class TechnologyLibrary:
         }
 
     # ------------------------------------------------------------------ #
+    def _value_key(self) -> tuple:
+        return (self.name, tuple(sorted(self._timing.items())))
+
+    def __eq__(self, other: object) -> bool:
+        """Libraries compare by content (name and per-cell timing).
+
+        Value semantics matter for caching: the runtime's worker caches
+        key on :class:`~repro.synth.flow.SynthesisOptions`, and every
+        pickled task delivers a fresh library object — identity equality
+        would defeat the cache for any custom library.
+        """
+        if not isinstance(other, TechnologyLibrary):
+            return NotImplemented
+        return self._value_key() == other._value_key()
+
+    def __hash__(self) -> int:
+        return hash(self._value_key())
+
+    # ------------------------------------------------------------------ #
     def timing(self, cell_name: str) -> CellTiming:
         """Timing view of one cell."""
         try:

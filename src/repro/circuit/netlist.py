@@ -203,6 +203,21 @@ class Netlist:
                 self._compiled_cache = False
         return self._compiled_cache or None
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the derived caches.
+
+        The evaluation plan and the compiled programs hold kernel
+        references and large index arrays that are cheaper to rebuild in
+        the receiving process (where they are cached again) than to
+        serialise — this is what lets the multiprocess runtime backend
+        ship netlists to workers.
+        """
+        state = self.__dict__.copy()
+        state["_order_cache"] = None
+        state["_eval_plan"] = None
+        state["_compiled_cache"] = None
+        return state
+
     def topological_order(self) -> List[Gate]:
         """Gates ordered so every gate appears after its drivers.
 

@@ -16,7 +16,13 @@ Each module regenerates one artefact of Section V of the paper:
 command-line entry point that regenerates everything.
 """
 
-from repro.experiments.common import DesignCharacterization, DesignEntry, StudyConfig, characterize_design
+from repro.experiments.common import (
+    DesignCharacterization,
+    DesignEntry,
+    StudyConfig,
+    characterize_design,
+    characterize_designs,
+)
 from repro.experiments.designs import PAPER_QUADRUPLES, exact_entry, paper_design_entries
 from repro.experiments.fig7_abper import run_fig7
 from repro.experiments.fig8_avpe import run_fig8
@@ -29,6 +35,7 @@ __all__ = [
     "DesignEntry",
     "DesignCharacterization",
     "characterize_design",
+    "characterize_designs",
     "PAPER_QUADRUPLES",
     "paper_design_entries",
     "exact_entry",

@@ -1,53 +1,73 @@
 """Shared machinery of the experiment drivers.
 
-``StudyConfig`` gathers every knob of the reproduction (trace lengths,
-clock plan, simulator choice, synthesis and model options) with defaults
-scaled so a full run finishes in minutes on a laptop; trace lengths can
-be raised towards the paper's ten-million-vector characterisation when
-more fidelity is wanted.
+``StudyConfig`` gathers every knob of the reproduction (trace lengths and
+their scale factor, clock plan, simulator tier and engine, execution
+backend, synthesis and model options) with defaults scaled so a full run
+finishes in minutes on a laptop; trace lengths can be raised towards the
+paper's ten-million-vector characterisation when more fidelity is wanted.
 
-``characterize_design`` performs the per-design heavy lifting shared by
-all figures: synthesize the netlist, compute diamond/golden outputs, and
-run the delay-annotated timing simulation at every clock period of the
-plan.  The gate-level settled outputs are additionally computed with
-:meth:`Netlist.compute_words` on the compiled bit-packed engine, both as
-a structural cross-check against the behavioural golden model and so
-downstream consumers can characterise from the netlist alone.
+Characterisation itself lives in :mod:`repro.runtime`: every figure
+driver turns its designs into :class:`~repro.runtime.CharacterizationJob`
+batches and submits them to the study's execution backend (``serial`` or
+``multiprocess``).  :func:`characterize_design` is the single-job
+convenience wrapper and :func:`characterize_designs` the batch entry
+point; both return :class:`~repro.runtime.DesignCharacterization`
+objects bundling the synthesized design, the diamond/golden outputs, the
+gate-level cross-check words and the timing simulation at every clock
+period of the plan.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.config import ISAConfig
-from repro.core.exact import ExactAdder
-from repro.core.isa import InexactSpeculativeAdder, StructuralFaultStats
 from repro.exceptions import ConfigurationError
 from repro.experiments.designs import DesignEntry, paper_design_entries
-from repro.ml.features import gold_words_from_netlist
 from repro.ml.model import TimingModelOptions
-from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_netlist, synthesize
+from repro.runtime import (
+    BACKENDS,
+    SIMULATORS,
+    Backend,
+    CharacterizationJob,
+    DesignCharacterization,
+    get_backend,
+)
+from repro.synth.flow import SynthesisOptions
 from repro.timing.clocking import ClockPlan
-from repro.timing.errors import TimingErrorTrace
-from repro.timing.event_sim import EventDrivenSimulator
-from repro.timing.fast_sim import FastTimingSimulator
+from repro.timing.fast_sim import ENGINES
 from repro.workloads.generators import uniform_workload
 from repro.workloads.traces import OperandTrace
 
 #: Environment variable that scales every default trace length (used by the
-#: benchmark harness to trade fidelity for runtime).
+#: benchmark harness to trade fidelity for runtime).  It is read **once**,
+#: when a :class:`StudyConfig` is constructed, into the explicit
+#: ``trace_scale`` field.
 TRACE_SCALE_ENV = "REPRO_TRACE_SCALE"
 
-SIMULATORS = ("event", "fast")
+#: Environment variables selecting the default execution backend and its
+#: worker count (used by CI to run the test suite under every backend).
+BACKEND_ENV = "REPRO_BACKEND"
+WORKERS_ENV = "REPRO_WORKERS"
 
 
-def _scaled(length: int) -> int:
-    scale = float(os.environ.get(TRACE_SCALE_ENV, "1.0"))
-    return max(int(length * scale), 16)
+def _env_trace_scale() -> float:
+    return float(os.environ.get(TRACE_SCALE_ENV, "1.0"))
+
+
+def _env_backend() -> str:
+    return os.environ.get(BACKEND_ENV, "serial")
+
+
+def _env_workers() -> Optional[int]:
+    value = os.environ.get(WORKERS_ENV, "")
+    return int(value) if value else None
+
+
+#: Shared backend instances per (backend, workers) pair — keeps the
+#: multiprocess pool (and its per-worker caches) alive between calls.
+_BACKEND_INSTANCES: dict = {}
 
 
 @dataclass(frozen=True)
@@ -60,6 +80,10 @@ class StudyConfig:
     evaluation_length: int = 2500
     seed: int = 7
     simulator: str = "event"
+    engine: str = "auto"
+    backend: str = field(default_factory=_env_backend)
+    workers: Optional[int] = field(default_factory=_env_workers)
+    trace_scale: float = field(default_factory=_env_trace_scale)
     clock_plan: ClockPlan = field(default_factory=ClockPlan.paper)
     synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
     model: TimingModelOptions = field(default_factory=TimingModelOptions)
@@ -68,6 +92,17 @@ class StudyConfig:
         if self.simulator not in SIMULATORS:
             raise ConfigurationError(
                 f"simulator must be one of {SIMULATORS}, got {self.simulator!r}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {self.workers}")
+        if self.trace_scale <= 0:
+            raise ConfigurationError(
+                f"trace_scale must be positive, got {self.trace_scale}")
         for name in ("characterization_length", "training_length", "evaluation_length"):
             if getattr(self, name) < 16:
                 raise ConfigurationError(f"{name} must be at least 16 vectors")
@@ -77,119 +112,90 @@ class StudyConfig:
         """The twelve paper designs at this study's width."""
         return paper_design_entries(self.width)
 
+    def scaled_length(self, length: int) -> int:
+        """``length`` scaled by the study's ``trace_scale`` (16-vector floor)."""
+        return max(int(length * self.trace_scale), 16)
+
     def characterization_trace(self) -> OperandTrace:
         """Random trace used for error characterisation (Figs. 9 and 10)."""
-        return uniform_workload(_scaled(self.characterization_length), width=self.width,
-                                seed=self.seed)
+        return uniform_workload(self.scaled_length(self.characterization_length),
+                                width=self.width, seed=self.seed)
 
     def training_trace(self) -> OperandTrace:
         """Random trace used to train the prediction model (Figs. 7 and 8)."""
-        return uniform_workload(_scaled(self.training_length), width=self.width,
-                                seed=self.seed + 1)
+        return uniform_workload(self.scaled_length(self.training_length),
+                                width=self.width, seed=self.seed + 1)
 
     def evaluation_trace(self) -> OperandTrace:
         """Held-out random trace used to evaluate the prediction model."""
-        return uniform_workload(_scaled(self.evaluation_length), width=self.width,
-                                seed=self.seed + 2)
+        return uniform_workload(self.scaled_length(self.evaluation_length),
+                                width=self.width, seed=self.seed + 2)
 
     def scaled_down(self, factor: float) -> "StudyConfig":
-        """A copy with every trace length multiplied by ``factor`` (for quick runs)."""
+        """A copy with every trace scaled by ``factor`` (for quick runs).
+
+        Scaling composes into the explicit ``trace_scale`` field — the
+        single mechanism behind every trace-length adjustment — so the
+        applied factor stays visible in reports.
+        """
         if factor <= 0:
             raise ConfigurationError(f"factor must be positive, got {factor}")
-        return replace(
-            self,
-            characterization_length=max(int(self.characterization_length * factor), 16),
-            training_length=max(int(self.training_length * factor), 16),
-            evaluation_length=max(int(self.evaluation_length * factor), 16),
+        return replace(self, trace_scale=self.trace_scale * factor)
+
+    # ------------------------------------------------------------------ #
+    # Runtime integration
+    # ------------------------------------------------------------------ #
+    def job(self, entry: DesignEntry, trace: OperandTrace,
+            collect_structural_stats: bool = False) -> CharacterizationJob:
+        """The characterization job of one design entry over one trace."""
+        return CharacterizationJob(
+            entry=entry,
+            trace=trace,
+            clock_periods=tuple(self.clock_plan.periods),
+            simulator=self.simulator,
+            engine=self.engine,
+            synthesis=self.synthesis,
+            width=self.width,
+            collect_structural_stats=collect_structural_stats,
         )
 
+    def runtime_backend(self) -> Backend:
+        """The execution backend this study schedules its jobs on.
 
-@dataclass
-class DesignCharacterization:
-    """Everything the experiments need to know about one synthesized design."""
-
-    entry: DesignEntry
-    synthesized: SynthesizedDesign
-    trace: OperandTrace
-    diamond_words: np.ndarray
-    gold_words: np.ndarray
-    timing_traces: Dict[float, TimingErrorTrace]
-    structural_stats: Optional[StructuralFaultStats] = None
-    netlist_words: Optional[np.ndarray] = None
-
-    @property
-    def name(self) -> str:
-        """Design label as used in the paper's figures."""
-        return self.entry.name
-
-    def timing_trace(self, clock_period: float) -> TimingErrorTrace:
-        """Timing-simulation result at one clock period of the plan."""
-        try:
-            return self.timing_traces[clock_period]
-        except KeyError:
-            raise ConfigurationError(
-                f"design {self.name} was not simulated at clock period {clock_period}") from None
-
-
-def golden_model(entry: DesignEntry, width: int):
-    """Behavioural golden model of a design entry (ISA or exact adder)."""
-    if entry.is_exact:
-        return ExactAdder(width)
-    return InexactSpeculativeAdder(entry.config)
-
-
-def synthesize_entry(entry: DesignEntry, width: int,
-                     options: SynthesisOptions) -> SynthesizedDesign:
-    """Synthesize one design entry with the study's flow options."""
-    if entry.is_exact:
-        return synthesize(exact_adder_netlist(width, options.adder_architecture), options)
-    return synthesize(entry.config, options)
-
-
-def make_simulator(kind: str, synthesized: SynthesizedDesign):
-    """Instantiate the requested timing simulator for a synthesized design."""
-    if kind == "event":
-        return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
-    if kind == "fast":
-        return FastTimingSimulator(synthesized.netlist, synthesized.annotation)
-    raise ConfigurationError(f"unknown simulator kind {kind!r}")
+        Backend instances are shared per (backend, workers) pair so that
+        the multiprocess worker pool — and with it the per-worker design
+        caches — stays warm across successive characterisation calls.
+        """
+        key = (self.backend, self.workers)
+        backend = _BACKEND_INSTANCES.get(key)
+        if backend is None:
+            backend = _BACKEND_INSTANCES[key] = get_backend(self.backend,
+                                                            workers=self.workers)
+        return backend
 
 
 def characterize_design(entry: DesignEntry, trace: OperandTrace, config: StudyConfig,
                         collect_structural_stats: bool = False) -> DesignCharacterization:
-    """Synthesize and simulate one design over a trace at every CPR level."""
-    synthesized = synthesize_entry(entry, config.width, config.synthesis)
-    exact = ExactAdder(config.width)
-    diamond = exact.add_many(trace.a, trace.b)
+    """Characterise one design over a trace at every CPR level.
 
-    structural_stats = None
-    if entry.is_exact:
-        gold = diamond.copy()
-    else:
-        model = InexactSpeculativeAdder(entry.config)
-        if collect_structural_stats:
-            gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
-        else:
-            gold = model.add_many(trace.a, trace.b)
+    Thin wrapper over the runtime: builds a single job and submits it to
+    the study's backend (the multiprocess backend still parallelises a
+    single job across its trace chunks).
+    """
+    job = config.job(entry, trace, collect_structural_stats=collect_structural_stats)
+    return config.runtime_backend().run([job])[0]
 
-    # Gate-level settled outputs from the compiled packed engine: the
-    # netlist's own golden reference, checked against the behavioural one.
-    netlist_words = gold_words_from_netlist(synthesized.netlist, trace)
-    if not np.array_equal(netlist_words, gold):
-        raise ConfigurationError(
-            f"synthesized netlist of {entry.name} disagrees with its behavioural "
-            "golden model; the synthesis flow is unfaithful")
 
-    simulator = make_simulator(config.simulator, synthesized)
-    timing_traces = simulator.run_trace_multi(trace.as_operands(), config.clock_plan.periods)
+def characterize_designs(entries: Sequence[DesignEntry], trace: OperandTrace,
+                         config: StudyConfig,
+                         stats_for: Iterable[str] = ()) -> List[DesignCharacterization]:
+    """Characterise a batch of designs over one shared trace.
 
-    return DesignCharacterization(
-        entry=entry,
-        synthesized=synthesized,
-        trace=trace,
-        diamond_words=diamond,
-        gold_words=gold,
-        timing_traces=timing_traces,
-        structural_stats=structural_stats,
-        netlist_words=netlist_words,
-    )
+    ``stats_for`` names the designs whose structural fault statistics
+    should be collected (the Fig. 10 design).  Results come back in
+    entry order regardless of the backend.
+    """
+    stats_for = set(stats_for)
+    jobs = [config.job(entry, trace, collect_structural_stats=entry.name in stats_for)
+            for entry in entries]
+    return config.runtime_backend().run(jobs)

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 from repro.analysis.distribution import BitErrorDistribution, bit_error_distribution
 from repro.analysis.report import format_table
 from repro.core.config import ISAConfig
-from repro.experiments.common import DesignCharacterization, StudyConfig, characterize_design
+from repro.experiments.common import DesignCharacterization, StudyConfig, characterize_designs
 from repro.experiments.designs import FIG10_QUADRUPLE, DesignEntry
 
 
@@ -56,8 +56,8 @@ def run_fig10(config: Optional[StudyConfig] = None,
         isa_config = ISAConfig.from_quadruple(quadruple, width=config.width)
         entry = DesignEntry(name=isa_config.name, config=isa_config)
         trace = config.characterization_trace()
-        characterization = characterize_design(entry, trace, config,
-                                               collect_structural_stats=True)
+        [characterization] = characterize_designs([entry], trace, config,
+                                                  stats_for=(entry.name,))
     elif characterization.structural_stats is None:
         raise ValueError("the supplied characterization lacks structural fault statistics")
 

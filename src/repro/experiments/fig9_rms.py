@@ -16,7 +16,7 @@ from repro.core.combination import combine_errors
 from repro.experiments.common import (
     DesignCharacterization,
     StudyConfig,
-    characterize_design,
+    characterize_designs,
 )
 
 
@@ -125,9 +125,8 @@ def run_fig9(config: Optional[StudyConfig] = None,
     """
     config = config or StudyConfig()
     if characterizations is None:
-        trace = config.characterization_trace()
-        characterizations = [characterize_design(entry, trace, config)
-                             for entry in config.design_entries()]
+        characterizations = characterize_designs(
+            config.design_entries(), config.characterization_trace(), config)
     rows: List[Fig9Row] = []
     for characterization in characterizations:
         rows.extend(fig9_rows_from_characterization(characterization, config))

@@ -2,13 +2,15 @@
 
 For every design and CPR level the study:
 
-1. synthesizes the design and simulates a *training* trace at the
-   overclocked period (delay-annotated gate-level simulation — the "Data
-   Collection" phase of the paper's Fig. 3),
+1. characterises the design over a *training* trace at the overclocked
+   periods (delay-annotated gate-level simulation — the "Data
+   Collection" phase of the paper's Fig. 3) and over a held-out
+   evaluation trace, as one batch of runtime jobs scheduled on the
+   study's execution backend,
 2. trains one random-forest classifier per output bit on the
    {x[t], x[t-1], yRTL_n[t-1], yRTL_n[t]} features,
-3. evaluates the model on a held-out trace, reporting ABPER (Fig. 7) and
-   AVPE (Fig. 8).
+3. evaluates the model on the held-out trace, reporting ABPER (Fig. 7)
+   and AVPE (Fig. 8).
 """
 
 from __future__ import annotations
@@ -17,12 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.report import format_log_value, format_table
-from repro.core.exact import ExactAdder
-from repro.core.isa import InexactSpeculativeAdder
-from repro.experiments.common import StudyConfig, make_simulator, synthesize_entry
+from repro.experiments.common import StudyConfig
 from repro.experiments.designs import DesignEntry
 from repro.ml.metrics import classification_summary, floored
 from repro.ml.model import BitLevelTimingModel
+from repro.runtime import DesignCharacterization
 from repro.workloads.traces import OperandTrace
 
 
@@ -99,36 +100,26 @@ class PredictionStudyResult:
         return result
 
 
-def _golden_words(entry: DesignEntry, trace: OperandTrace, width: int):
-    if entry.is_exact:
-        return ExactAdder(width).add_many(trace.a, trace.b)
-    return InexactSpeculativeAdder(entry.config).add_many(trace.a, trace.b)
+def rows_from_characterizations(config: StudyConfig,
+                                training: DesignCharacterization,
+                                evaluation: DesignCharacterization) -> List[PredictionRow]:
+    """Train and evaluate the per-bit model from a design's two characterisations.
 
-
-def study_design(entry: DesignEntry, config: StudyConfig,
-                 training_trace: OperandTrace,
-                 evaluation_trace: OperandTrace) -> List[PredictionRow]:
-    """Train and evaluate the per-bit model of one design at every CPR level."""
-    synthesized = synthesize_entry(entry, config.width, config.synthesis)
-    simulator = make_simulator(config.simulator, synthesized)
-
-    train_gold = _golden_words(entry, training_trace, config.width)
-    eval_gold = _golden_words(entry, evaluation_trace, config.width)
-
-    periods = config.clock_plan.periods
-    train_timing = simulator.run_trace_multi(training_trace.as_operands(), periods)
-    eval_timing = simulator.run_trace_multi(evaluation_trace.as_operands(), periods)
-
+    ``training`` and ``evaluation`` are the runtime results of the same
+    design over the training and the held-out trace; their golden words
+    and timing traces drive the fit/evaluate cycle at every CPR level.
+    """
     rows: List[PredictionRow] = []
     for cpr, period in config.clock_plan.items():
-        model = BitLevelTimingModel(design=entry.name, clock_period=period,
+        model = BitLevelTimingModel(design=training.name, clock_period=period,
                                     output_width=config.width + 1, options=config.model)
-        model.fit(training_trace, train_gold, train_timing[period])
-        metrics = model.evaluate(evaluation_trace, eval_gold, eval_timing[period])
-        predicted_errors = model.predict_error_matrix(evaluation_trace, eval_gold)
-        summary = classification_summary(predicted_errors, eval_timing[period].error_bits())
+        model.fit(training.trace, training.gold_words, training.timing_trace(period))
+        eval_timing = evaluation.timing_trace(period)
+        metrics = model.evaluate(evaluation.trace, evaluation.gold_words, eval_timing)
+        predicted_errors = model.predict_error_matrix(evaluation.trace, evaluation.gold_words)
+        summary = classification_summary(predicted_errors, eval_timing.error_bits())
         rows.append(PredictionRow(
-            design=entry.name,
+            design=training.name,
             cpr=cpr,
             clock_period=period,
             abper=floored(metrics["abper"]),
@@ -141,12 +132,36 @@ def study_design(entry: DesignEntry, config: StudyConfig,
     return rows
 
 
+def study_design(entry: DesignEntry, config: StudyConfig,
+                 training_trace: OperandTrace,
+                 evaluation_trace: OperandTrace) -> List[PredictionRow]:
+    """Train and evaluate the per-bit model of one design at every CPR level."""
+    training, evaluation = config.runtime_backend().run([
+        config.job(entry, training_trace),
+        config.job(entry, evaluation_trace),
+    ])
+    return rows_from_characterizations(config, training, evaluation)
+
+
 def run_prediction_study(config: Optional[StudyConfig] = None) -> PredictionStudyResult:
-    """Run the Fig. 7 / Fig. 8 prediction study over every paper design."""
+    """Run the Fig. 7 / Fig. 8 prediction study over every paper design.
+
+    The heavy characterisation work — every design over both the
+    training and the evaluation trace — is submitted as one job batch to
+    the study's execution backend; model training then proceeds from the
+    returned characterisations.
+    """
     config = config or StudyConfig()
     training_trace = config.training_trace()
     evaluation_trace = config.evaluation_trace()
+    entries = config.design_entries()
+    jobs = []
+    for entry in entries:
+        jobs.append(config.job(entry, training_trace))
+        jobs.append(config.job(entry, evaluation_trace))
+    results = config.runtime_backend().run(jobs)
     rows: List[PredictionRow] = []
-    for entry in config.design_entries():
-        rows.extend(study_design(entry, config, training_trace, evaluation_trace))
+    for index in range(len(entries)):
+        rows.extend(rows_from_characterizations(
+            config, results[2 * index], results[2 * index + 1]))
     return PredictionStudyResult(rows=rows, cpr_levels=config.clock_plan.cpr_levels)

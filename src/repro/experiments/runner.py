@@ -5,9 +5,17 @@ prediction study, the Fig. 9 error-combination sweep and the Fig. 10
 distribution analysis, printing the paper-equivalent tables and
 optionally writing them to a results file.
 
+All characterisation is routed through the job pipeline of
+:mod:`repro.runtime`: the runner builds one :class:`StudyConfig` from the
+CLI knobs (simulator tier, fast-engine tier, execution backend and
+worker count), the figure drivers turn their designs into job batches,
+and the selected backend — ``serial`` or ``multiprocess`` — schedules
+them.  Fig. 9 and Fig. 10 share a single characterization batch.
+
 Example::
 
-    repro-experiments --scale 0.5 --output results.txt
+    repro-experiments --scale 0.5 --backend multiprocess --jobs 4 \
+        --simulator fast --engine compiled --output results.txt
 """
 
 from __future__ import annotations
@@ -15,14 +23,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.config import ISAConfig
-from repro.experiments.common import StudyConfig, characterize_design
-from repro.experiments.designs import FIG10_QUADRUPLE, DesignEntry
+from repro.experiments.common import StudyConfig, characterize_designs
+from repro.experiments.designs import FIG10_QUADRUPLE
 from repro.experiments.fig9_rms import run_fig9
 from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
+from repro.runtime import BACKENDS
+from repro.timing.fast_sim import ENGINES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simulator", choices=("event", "fast"), default="event",
                         help="timing simulator: glitch-aware event-driven (default) or fast "
                              "no-glitch vectorised")
+    parser.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="execution engine of the fast simulator: compiled bit-packed, "
+                             "dense reference, or auto fallback (default auto)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend scheduling the characterization jobs "
+                             "(default: $REPRO_BACKEND or serial)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes of the multiprocess backend "
+                             "(default: $REPRO_WORKERS or one per CPU)")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
                         choices=["fig7", "fig8", "fig9", "fig10"],
@@ -59,12 +79,10 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
 
     characterizations = None
     if "fig9" in figures or "fig10" in figures:
-        trace = config.characterization_trace()
-        characterizations = []
-        for entry in config.design_entries():
-            collect = entry.name == ISAConfig.from_quadruple(FIG10_QUADRUPLE).name
-            characterizations.append(
-                characterize_design(entry, trace, config, collect_structural_stats=collect))
+        target = ISAConfig.from_quadruple(FIG10_QUADRUPLE).name
+        characterizations = characterize_designs(
+            config.design_entries(), config.characterization_trace(), config,
+            stats_for=(target,))
 
     if "fig9" in figures:
         sections.append(run_fig9(config, characterizations=characterizations).format_table())
@@ -80,17 +98,28 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
         sections.append(run_fig10(config, characterization=fig10_characterization).format_table())
 
     elapsed = time.time() - started
+    backend = config.runtime_backend().describe()
     sections.append(f"(regenerated {', '.join(figures)} in {elapsed:.1f} s, "
-                    f"simulator={config.simulator}, seed={config.seed})")
+                    f"simulator={config.simulator}, engine={config.engine}, "
+                    f"backend={backend}, trace_scale={config.trace_scale:g}, "
+                    f"seed={config.seed})")
     return "\n\n".join(sections)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
     arguments = build_parser().parse_args(argv)
-    config = StudyConfig(simulator=arguments.simulator, seed=arguments.seed)
+    overrides = {"simulator": arguments.simulator, "engine": arguments.engine,
+                 "seed": arguments.seed}
+    if arguments.backend is not None:
+        overrides["backend"] = arguments.backend
+    if arguments.jobs is not None:
+        overrides["workers"] = arguments.jobs
+    config = StudyConfig(**overrides)
     if arguments.scale != 1.0:
-        config = config.scaled_down(arguments.scale)
+        # --scale composes with $REPRO_TRACE_SCALE through the explicit
+        # trace_scale field, so the applied scaling shows in the report.
+        config = replace(config, trace_scale=config.trace_scale * arguments.scale)
     report = run_all(config, arguments.figures)
     print(report)
     if arguments.output:

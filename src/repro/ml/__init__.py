@@ -13,7 +13,7 @@ metrics mirror Sections III and IV-B of the paper.
 from repro.ml.tree import DecisionTreeClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.features import FEATURE_DOC, build_feature_matrix, feature_names
-from repro.ml.dataset import BitDataset, build_bit_datasets
+from repro.ml.dataset import BitDataset, build_bit_datasets, collect_bit_datasets
 from repro.ml.model import BitLevelTimingModel, TimingModelOptions
 from repro.ml.metrics import abper, avpe, classification_summary
 
@@ -25,6 +25,7 @@ __all__ = [
     "feature_names",
     "BitDataset",
     "build_bit_datasets",
+    "collect_bit_datasets",
     "BitLevelTimingModel",
     "TimingModelOptions",
     "abper",

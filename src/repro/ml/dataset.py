@@ -5,14 +5,23 @@ paper: pair the operand trace (stimulus) with the golden outputs (RTL
 reference) and the delay-annotated gate-level simulation outcome (timing
 classes at an unsafe clock period), and turn them into one labelled
 dataset per output bit.
+
+Collection at scale goes through the execution runtime:
+:func:`collect_bit_datasets` submits a batch of characterization jobs to
+a backend (serial or multiprocess) and assembles the labelled datasets
+from the returned golden words and timing traces, so dataset generation
+for many designs parallelises exactly like the figure drivers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> ml)
+    from repro.runtime import CharacterizationJob
 
 from repro.exceptions import ModelError
 from repro.ml.features import build_feature_matrix
@@ -77,3 +86,26 @@ def build_bit_datasets(trace: OperandTrace, gold_words: np.ndarray,
 def dataset_summary(datasets: List[BitDataset]) -> Dict[int, float]:
     """Per-bit timing-error rates of a dataset collection (diagnostic helper)."""
     return {dataset.bit: dataset.error_rate for dataset in datasets}
+
+
+def collect_bit_datasets(jobs: Sequence["CharacterizationJob"], backend="serial",
+                         workers: Optional[int] = None
+                         ) -> List[Dict[float, List[BitDataset]]]:
+    """Characterise a batch of jobs and assemble their per-bit datasets.
+
+    Each job is executed on the requested runtime backend; for every
+    clock period of the job the characterisation's golden words and
+    timing trace become one :class:`BitDataset` list.  The result is one
+    ``{clock_period: [BitDataset, ...]}`` dict per job, in submission
+    order — ready for :meth:`BitLevelTimingModel.fit` at any CPR level.
+    """
+    from repro.runtime import run_jobs  # deferred: keeps repro.ml importable standalone
+
+    results = run_jobs(jobs, backend=backend, workers=workers)
+    collected: List[Dict[float, List[BitDataset]]] = []
+    for job, characterization in zip(jobs, results):
+        collected.append({
+            clock: build_bit_datasets(job.trace, characterization.gold_words, timing)
+            for clock, timing in characterization.timing_traces.items()
+        })
+    return collected

@@ -1,0 +1,63 @@
+"""Unified characterization runtime: jobs plus pluggable backends.
+
+Every heavy operation of the reproduction — synthesize a design, compute
+its golden references, simulate an operand trace at a set of clock
+periods — is modelled as a :class:`CharacterizationJob` and scheduled by
+a :class:`Backend`:
+
+* ``serial`` executes jobs in-process (the reference behaviour),
+* ``multiprocess`` fans independent jobs *and* independent word-aligned
+  trace chunks out across worker processes, with per-worker caching of
+  synthesized designs and compiled programs, merging chunks in trace
+  order so results are bit-identical to serial at any worker count.
+
+The experiment drivers (`repro.experiments`), the dataset assembly
+(`repro.ml.dataset`), the ``repro-experiments`` CLI and the throughput
+benchmarks all characterise through this runtime; future scaling work
+(sharding, async, remote workers) plugs in here as additional backends.
+
+Quick start::
+
+    from repro.runtime import CharacterizationJob, run_jobs
+    from repro.experiments.designs import isa_entry
+
+    job = CharacterizationJob(entry=isa_entry((8, 0, 0, 4)), trace=trace,
+                              clock_periods=(2.55e-10,), simulator="fast")
+    [result] = run_jobs([job], backend="multiprocess", workers=4)
+"""
+
+from repro.runtime.backends import (
+    BACKENDS,
+    Backend,
+    MultiprocessBackend,
+    SerialBackend,
+    get_backend,
+    run_jobs,
+)
+from repro.runtime.jobs import (
+    SIMULATORS,
+    CharacterizationJob,
+    DesignCharacterization,
+    build_simulator,
+    execute_job,
+    merge_timing_chunks,
+    synthesize_entry,
+    synthesize_job,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SIMULATORS",
+    "Backend",
+    "CharacterizationJob",
+    "DesignCharacterization",
+    "MultiprocessBackend",
+    "SerialBackend",
+    "build_simulator",
+    "execute_job",
+    "get_backend",
+    "merge_timing_chunks",
+    "run_jobs",
+    "synthesize_entry",
+    "synthesize_job",
+]

@@ -1,0 +1,289 @@
+"""Pluggable execution backends for characterization jobs.
+
+``serial``
+    Executes jobs one after the other in the calling process — the
+    reference behaviour, identical to calling
+    :func:`~repro.runtime.jobs.execute_job` in a loop.
+
+``multiprocess``
+    Fans jobs out across worker processes with
+    :class:`concurrent.futures.ProcessPoolExecutor`.  Each job is split
+    into one *golden* task (synthesis cross-check, diamond/golden words,
+    structural statistics) plus one timing task per word-aligned trace
+    chunk (see :func:`repro.circuit.compiled.transition_chunks`), so a
+    single large job parallelises as well as a batch of small ones.
+    Workers cache the synthesized design, its compiled programs and the
+    simulator per :meth:`CharacterizationJob.cache_key`, so lowering
+    happens once per process no matter how many chunks it executes.
+    Chunks are merged strictly in trace order, and both simulator tiers
+    are transition-local, so results are **bit-identical to the serial
+    backend at any worker count**.
+
+Backends raise whatever the job execution raises (e.g. the golden-model
+cross-check failure) — scheduling does not swallow errors.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.compiled import WORD_BITS, transition_chunks
+from repro.exceptions import ConfigurationError
+from repro.runtime.jobs import (
+    CharacterizationJob,
+    DesignCharacterization,
+    build_simulator,
+    execute_job,
+    golden_reference,
+    merge_timing_chunks,
+    run_timing,
+    synthesize_job,
+)
+
+#: Names accepted by :func:`get_backend` (and ``StudyConfig.backend``).
+BACKENDS = ("serial", "multiprocess")
+
+
+class Backend:
+    """Interface of an execution backend: run a batch of jobs in order."""
+
+    name = "abstract"
+
+    def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        """Execute ``jobs`` and return their results in submission order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable backend description (recorded in reports)."""
+        return self.name
+
+
+class SerialBackend(Backend):
+    """Run every job in the calling process, one after the other.
+
+    Like the multiprocess workers, a batch shares one synthesized design
+    and one simulator per :meth:`CharacterizationJob.cache_key`, so a
+    study submitting several traces of the same design (e.g. the
+    prediction study's training + evaluation pair) lowers it only once.
+    """
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        designs: Dict[tuple, object] = {}
+        simulators: Dict[tuple, object] = {}
+        results: List[DesignCharacterization] = []
+        for job in jobs:
+            key = job.cache_key()
+            if key not in designs:
+                designs[key] = synthesize_job(job)
+                simulators[key] = build_simulator(job.simulator, designs[key],
+                                                  engine=job.engine)
+            results.append(execute_job(job, synthesized=designs[key],
+                                       simulator=simulators[key]))
+        return results
+
+
+# --------------------------------------------------------------------- #
+# Worker-side machinery of the multiprocess backend
+# --------------------------------------------------------------------- #
+#: Per-process caches: synthesized designs and simulators by job cache key.
+#: Lowering (synthesis, netlist compilation, timing-program compilation)
+#: therefore happens once per worker process and design, no matter how
+#: many trace chunks the worker executes.
+_DESIGN_CACHE: Dict[tuple, object] = {}
+_SIMULATOR_CACHE: Dict[tuple, object] = {}
+
+
+def _cached_design(job: CharacterizationJob):
+    key = job.cache_key()
+    design = _DESIGN_CACHE.get(key)
+    if design is None:
+        design = _DESIGN_CACHE[key] = synthesize_job(job)
+    return design
+
+
+def _cached_simulator(job: CharacterizationJob):
+    key = job.cache_key()
+    simulator = _SIMULATOR_CACHE.get(key)
+    if simulator is None:
+        simulator = _SIMULATOR_CACHE[key] = build_simulator(
+            job.simulator, _cached_design(job), engine=job.engine)
+    return simulator
+
+
+def _golden_task(job: CharacterizationJob):
+    """Worker task: synthesize (cached) and compute the golden references."""
+    synthesized = _cached_design(job)
+    diamond, gold, stats, netlist_words = golden_reference(job, synthesized)
+    return synthesized, diamond, gold, stats, netlist_words
+
+
+def _timing_chunk_task(chunk_job: CharacterizationJob):
+    """Worker task: simulate one trace chunk (the job's trace is the slice)."""
+    return run_timing(chunk_job, _cached_simulator(chunk_job))
+
+
+def _whole_job_task(job: CharacterizationJob) -> DesignCharacterization:
+    """Worker task: one complete job, with the worker's design/simulator cache.
+
+    The trace is stripped from the result before it is pickled back —
+    the parent already holds it on the job and restores it on receipt.
+    """
+    result = execute_job(job, synthesized=_cached_design(job),
+                         simulator=_cached_simulator(job))
+    result.trace = None
+    return result
+
+
+class MultiprocessBackend(Backend):
+    """Fan characterization work out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (defaults to ``os.cpu_count()``).
+    chunk_transitions:
+        Transitions per timing chunk.  ``None`` picks a word-aligned
+        size splitting each job into about ``workers`` chunks; explicit
+        values are rounded up to the packed word size (64), which keeps
+        chunked execution bit-identical to a full-trace run.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunk_transitions: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        if chunk_transitions is not None and chunk_transitions < 1:
+            raise ConfigurationError(
+                f"chunk_transitions must be at least 1, got {chunk_transitions}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_transitions = chunk_transitions
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def describe(self) -> str:
+        return f"multiprocess[{self.workers}]"
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle.  The executor persists across run() calls so the
+    # per-worker design/simulator caches stay warm between batches; it is
+    # created lazily and torn down by close() (or by the executor's own
+    # manager thread once the backend is garbage-collected).
+    # ------------------------------------------------------------------ #
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _chunk_size(self, transitions: int) -> int:
+        if self.chunk_transitions is not None:
+            return self.chunk_transitions
+        # About one chunk per worker, word-aligned, at least one word.
+        per_worker = -(-transitions // self.workers)
+        return max(WORD_BITS, -(-per_worker // WORD_BITS) * WORD_BITS)
+
+    def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+
+        # Scheduling granularity.  A batch with at least one job per
+        # worker parallelises best as whole jobs: every design is
+        # synthesized exactly once somewhere in the pool.  A small batch
+        # (fewer jobs than workers) is instead split into one golden task
+        # plus per-chunk timing tasks, trading a little duplicated
+        # lowering for intra-job parallelism.  An explicit
+        # ``chunk_transitions`` always forces the split (the determinism
+        # tests rely on it).  Either way results are bit-identical.
+        split = self.chunk_transitions is not None or len(jobs) < self.workers
+        pool = self._executor()
+        try:
+            if not split:
+                futures = [pool.submit(_whole_job_task, job) for job in jobs]
+                results = [future.result() for future in futures]
+                for job, result in zip(jobs, results):
+                    result.trace = job.trace
+                return results
+            return self._run_split(pool, jobs)
+        except BrokenProcessPool:
+            # A broken pool (worker killed mid-task) is not recoverable;
+            # drop it so the next run starts fresh.  Ordinary job errors
+            # propagate with the warm pool intact.
+            self.close()
+            raise
+
+    def _run_split(self, pool: ProcessPoolExecutor,
+                   jobs: List[CharacterizationJob]) -> List[DesignCharacterization]:
+        # Plan: per job, one golden task plus one timing task per chunk.
+        # A chunk over transitions [start, stop) needs input vectors
+        # [start, stop] — one vector of overlap with its predecessor.
+        spans: List[List[Tuple[int, int]]] = [
+            transition_chunks(job.trace.transitions, self._chunk_size(job.trace.transitions))
+            for job in jobs
+        ]
+        golden_futures = [pool.submit(_golden_task, job) for job in jobs]
+        chunk_futures = [
+            [pool.submit(_timing_chunk_task,
+                         job.with_trace(job.trace.slice(start, stop + 1)))
+             for start, stop in spans[index]]
+            for index, job in enumerate(jobs)
+        ]
+        results: List[DesignCharacterization] = []
+        for index, job in enumerate(jobs):
+            synthesized, diamond, gold, stats, netlist_words = golden_futures[index].result()
+            timing_traces = merge_timing_chunks(
+                future.result() for future in chunk_futures[index])
+            results.append(DesignCharacterization(
+                entry=job.entry,
+                synthesized=synthesized,
+                trace=job.trace,
+                diamond_words=diamond,
+                gold_words=gold,
+                timing_traces=timing_traces,
+                structural_stats=stats,
+                netlist_words=netlist_words,
+            ))
+        return results
+
+
+# --------------------------------------------------------------------- #
+# Lookup / convenience entry points
+# --------------------------------------------------------------------- #
+def get_backend(backend, workers: Optional[int] = None) -> Backend:
+    """Resolve a backend name (or pass a :class:`Backend` through).
+
+    ``workers`` only applies to the multiprocess backend; ``None`` means
+    one worker per CPU.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "multiprocess":
+        return MultiprocessBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
+             workers: Optional[int] = None) -> List[DesignCharacterization]:
+    """Run a batch of characterization jobs on the requested backend."""
+    return get_backend(backend, workers=workers).run(jobs)

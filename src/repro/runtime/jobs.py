@@ -1,0 +1,256 @@
+"""Characterization jobs: the unit of work of the execution runtime.
+
+A :class:`CharacterizationJob` bundles everything needed to characterise
+one design over one operand trace — the design entry to synthesize, the
+trace, the clock periods to sample, the simulator tier (``event`` or
+``fast``) and the execution engine of the fast tier (``auto`` /
+``compiled`` / ``reference``).  :func:`execute_job` performs the job in
+the calling process; the backends in :mod:`repro.runtime.backends`
+schedule batches of jobs, possibly splitting each trace into independent
+chunks.
+
+Both timing tiers are *transition-local*: the outcome of cycle ``t``
+depends only on the input vectors ``t-1`` and ``t`` (the event-driven
+simulator seeds each transition from the settled state of the previous
+vector, the fast simulator is a two-vector model by construction).  A
+trace may therefore be cut at any transition boundary and simulated
+chunk by chunk — with a one-vector overlap between chunks — and the
+concatenated results are bit-identical to a single full-trace run.
+That property is what the multiprocess backend exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exact import ExactAdder
+from repro.core.isa import InexactSpeculativeAdder, StructuralFaultStats
+from repro.exceptions import ConfigurationError
+from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_netlist, synthesize
+from repro.timing.errors import TimingErrorTrace
+from repro.timing.event_sim import EventDrivenSimulator
+from repro.timing.fast_sim import ENGINES, FastTimingSimulator
+from repro.workloads.traces import OperandTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> runtime)
+    from repro.experiments.designs import DesignEntry
+
+#: Timing-simulator tiers a job may request.
+SIMULATORS = ("event", "fast")
+
+
+@dataclass(frozen=True, eq=False)
+class CharacterizationJob:
+    """One (design x trace x clock plan x engine) characterisation.
+
+    Jobs are immutable and picklable, so backends can ship them to
+    worker processes.  They compare and hash by identity (the trace
+    arrays make value equality ill-defined); :meth:`cache_key` is the
+    value-level key — everything except the trace — under which
+    backends cache synthesized designs and simulators.
+    """
+
+    entry: "DesignEntry"
+    trace: OperandTrace
+    clock_periods: Tuple[float, ...]
+    simulator: str = "event"
+    engine: str = "auto"
+    synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
+    width: int = 32
+    collect_structural_stats: bool = False
+    output_bus: str = "S"
+
+    def __post_init__(self) -> None:
+        if self.simulator not in SIMULATORS:
+            raise ConfigurationError(
+                f"simulator must be one of {SIMULATORS}, got {self.simulator!r}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if not self.clock_periods:
+            raise ConfigurationError("a characterization job needs at least one clock period")
+        for clk in self.clock_periods:
+            if clk <= 0:
+                raise ConfigurationError(f"clock periods must be positive, got {clk}")
+        if self.trace.length < 2:
+            raise ConfigurationError("a characterization trace needs at least two vectors")
+        if self.synthesis.variation_sigma > 0 and self.synthesis.variation_seed is None:
+            # Workers re-synthesize the design independently; an unseeded
+            # variation draw would give every worker a differently
+            # annotated circuit and silently break the bit-identity
+            # guarantee between backends (and between runs).
+            raise ConfigurationError(
+                "characterization jobs with variation_sigma > 0 require an explicit "
+                "variation_seed so every backend synthesizes the same annotated design")
+        object.__setattr__(self, "clock_periods", tuple(self.clock_periods))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Design label of the job (as used in the paper's figures)."""
+        return self.entry.name
+
+    def cache_key(self) -> tuple:
+        """Key under which workers cache the synthesized design and simulator.
+
+        Everything that determines the synthesized design and the
+        simulator construction — but *not* the trace, so chunk tasks of
+        the same job (and jobs re-running a design on another trace) hit
+        the same cache entry and lowering happens once per process.
+        """
+        return (self.entry, self.width, self.synthesis, self.simulator,
+                self.engine, self.output_bus)
+
+    def with_trace(self, trace: OperandTrace) -> "CharacterizationJob":
+        """The same job over a different (e.g. sliced) trace."""
+        return replace(self, trace=trace)
+
+
+@dataclass
+class DesignCharacterization:
+    """Everything the experiments need to know about one characterised design."""
+
+    entry: "DesignEntry"
+    synthesized: SynthesizedDesign
+    trace: OperandTrace
+    diamond_words: np.ndarray
+    gold_words: np.ndarray
+    timing_traces: Dict[float, TimingErrorTrace]
+    structural_stats: Optional[StructuralFaultStats] = None
+    netlist_words: Optional[np.ndarray] = None
+
+    @property
+    def name(self) -> str:
+        """Design label as used in the paper's figures."""
+        return self.entry.name
+
+    def timing_trace(self, clock_period: float) -> TimingErrorTrace:
+        """Timing-simulation result at one clock period of the plan."""
+        try:
+            return self.timing_traces[clock_period]
+        except KeyError:
+            raise ConfigurationError(
+                f"design {self.name} was not simulated at clock period {clock_period}") from None
+
+
+# --------------------------------------------------------------------- #
+# Job execution building blocks (shared by all backends)
+# --------------------------------------------------------------------- #
+def synthesize_entry(entry: "DesignEntry", width: int,
+                     options: SynthesisOptions) -> SynthesizedDesign:
+    """Synthesize one design entry (ISA or exact adder) with the flow options."""
+    if entry.is_exact:
+        return synthesize(exact_adder_netlist(width, options.adder_architecture), options)
+    return synthesize(entry.config, options)
+
+
+def synthesize_job(job: CharacterizationJob) -> SynthesizedDesign:
+    """Synthesize the job's design entry with the job's flow options."""
+    return synthesize_entry(job.entry, job.width, job.synthesis)
+
+
+def build_simulator(kind: str, synthesized: SynthesizedDesign, engine: str = "auto"):
+    """Instantiate the requested timing simulator for a synthesized design.
+
+    ``engine`` selects the execution tier of the fast simulator; the
+    event-driven simulator is its own (glitch-aware) reference tier and
+    ignores it.
+    """
+    if kind == "event":
+        return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
+    if kind == "fast":
+        return FastTimingSimulator(synthesized.netlist, synthesized.annotation, engine=engine)
+    raise ConfigurationError(f"unknown simulator kind {kind!r}")
+
+
+def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
+    """Diamond/golden words, structural stats and the gate-level cross-check.
+
+    Returns ``(diamond, gold, structural_stats, netlist_words)``; raises
+    :class:`~repro.exceptions.ConfigurationError` when the synthesized
+    netlist disagrees with the behavioural golden model.
+    """
+    trace = job.trace
+    diamond = ExactAdder(job.width).add_many(trace.a, trace.b)
+
+    structural_stats = None
+    if job.entry.is_exact:
+        gold = diamond.copy()
+    else:
+        model = InexactSpeculativeAdder(job.entry.config)
+        if job.collect_structural_stats:
+            gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
+        else:
+            gold = model.add_many(trace.a, trace.b)
+
+    # Gate-level settled outputs from the compiled packed engine: the
+    # netlist's own golden reference, checked against the behavioural one.
+    netlist_words = synthesized.netlist.compute_words(trace.as_operands(),
+                                                      output_bus=job.output_bus)
+    if not np.array_equal(netlist_words, gold):
+        raise ConfigurationError(
+            f"synthesized netlist of {job.name} disagrees with its behavioural "
+            "golden model; the synthesis flow is unfaithful")
+    return diamond, gold, structural_stats, netlist_words
+
+
+def run_timing(job: CharacterizationJob, simulator) -> Dict[float, TimingErrorTrace]:
+    """Run the job's timing simulation over its (possibly sliced) trace."""
+    return simulator.run_trace_multi(job.trace.as_operands(), job.clock_periods,
+                                     output_bus=job.output_bus)
+
+
+def merge_timing_chunks(chunks) -> Dict[float, TimingErrorTrace]:
+    """Concatenate per-chunk timing results back into full-trace traces.
+
+    ``chunks`` is a sequence of ``{clock_period: TimingErrorTrace}``
+    dicts in chunk order.  Because both simulators are transition-local,
+    the concatenation is bit-identical to a single full-trace run.
+    """
+    chunks = list(chunks)
+    if not chunks:
+        return {}
+    merged: Dict[float, TimingErrorTrace] = {}
+    settled = None
+    for clk in chunks[0]:
+        if settled is None:
+            # Both simulators share one settled array across all clock
+            # periods of a run; preserve that sharing after the merge.
+            settled = np.concatenate([chunk[clk].settled_words for chunk in chunks])
+        merged[clk] = TimingErrorTrace(
+            clock_period=clk,
+            sampled_words=np.concatenate([chunk[clk].sampled_words for chunk in chunks]),
+            settled_words=settled,
+            output_width=chunks[0][clk].output_width,
+        )
+    return merged
+
+
+def execute_job(job: CharacterizationJob,
+                synthesized: Optional[SynthesizedDesign] = None,
+                simulator=None) -> DesignCharacterization:
+    """Perform one characterization job in the calling process.
+
+    This is the reference execution path (the serial backend calls it
+    per job); ``synthesized`` and ``simulator`` may be supplied to reuse
+    work cached by the caller (they must match the job's ``cache_key``).
+    """
+    if synthesized is None:
+        synthesized = synthesize_job(job)
+    diamond, gold, structural_stats, netlist_words = golden_reference(job, synthesized)
+    if simulator is None:
+        simulator = build_simulator(job.simulator, synthesized, engine=job.engine)
+    timing_traces = run_timing(job, simulator)
+    return DesignCharacterization(
+        entry=job.entry,
+        synthesized=synthesized,
+        trace=job.trace,
+        diamond_words=diamond,
+        gold_words=gold,
+        timing_traces=timing_traces,
+        structural_stats=structural_stats,
+        netlist_words=netlist_words,
+    )

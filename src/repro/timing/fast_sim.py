@@ -44,7 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.circuit.compiled import PackedTimingProgram, rows_to_words
+from repro.circuit.compiled import PackedTimingProgram, rows_to_words, transition_chunks
 from repro.circuit.netlist import CONST0, CONST1, Netlist
 from repro.circuit.sdf import DelayAnnotation
 from repro.exceptions import CompilationError, SimulationError
@@ -202,9 +202,7 @@ class FastTimingSimulator:
         out_ids = np.array([program.net_id[net] for net in output_nets], dtype=np.int64)
 
         words_per_chunk = max(64, _PACKED_CHUNK_BYTES // (8 * timing.num_rows))
-        cycles_per_chunk = words_per_chunk * 64
-        for start in range(0, transitions, cycles_per_chunk):
-            stop = min(start + cycles_per_chunk, transitions)
+        for start, stop in transition_chunks(transitions, words_per_chunk * 64):
             count = stop - start
             old_values, new_values = program.evaluate_transitions(
                 {net: trace[start:stop + 1] for net, trace in input_trace.items()}, count)

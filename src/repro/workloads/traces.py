@@ -55,6 +55,19 @@ class OperandTrace:
             "cin": np.full(self.length, cin, dtype=np.uint64),
         }
 
+    def slice(self, start: int, stop: int) -> "OperandTrace":
+        """Sub-trace of vectors ``[start, stop)``.
+
+        This is the chunking primitive of the execution runtime: a chunk
+        of transitions ``[s, e)`` is simulated from the vector slice
+        ``[s, e + 1)`` (one vector of overlap with the preceding chunk).
+        """
+        if not 0 <= start < stop <= self.length:
+            raise WorkloadError(
+                f"invalid trace slice [{start}, {stop}) of a {self.length}-vector trace")
+        return OperandTrace(a=self.a[start:stop], b=self.b[start:stop], width=self.width,
+                            name=f"{self.name}[{start}:{stop}]")
+
     def split(self, fraction: float) -> Tuple["OperandTrace", "OperandTrace"]:
         """Split into a leading and trailing trace (e.g. training vs evaluation)."""
         if not 0.0 < fraction < 1.0:

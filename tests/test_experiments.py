@@ -72,8 +72,9 @@ class TestStudyConfig:
             StudyConfig(training_length=2)
 
     def test_scaled_down(self):
-        config = StudyConfig().scaled_down(0.1)
-        assert config.characterization_length == 400
+        config = StudyConfig(trace_scale=1.0).scaled_down(0.1)
+        assert config.trace_scale == pytest.approx(0.1)
+        assert config.characterization_trace().length == 400
         with pytest.raises(ConfigurationError):
             StudyConfig().scaled_down(0)
 

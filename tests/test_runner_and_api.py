@@ -48,6 +48,31 @@ class TestRunnerCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--figures", "fig99"])
 
+    def test_parser_runtime_knobs(self):
+        arguments = build_parser().parse_args(
+            ["--engine", "compiled", "--backend", "multiprocess", "--jobs", "4"])
+        assert arguments.engine == "compiled"
+        assert arguments.backend == "multiprocess"
+        assert arguments.jobs == 4
+        defaults = build_parser().parse_args([])
+        assert defaults.engine == "auto"
+        assert defaults.backend is None  # falls back to $REPRO_BACKEND or serial
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "spice"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "cluster"])
+
+    def test_main_engine_and_backend_flow(self, tmp_path):
+        output = tmp_path / "report.txt"
+        exit_code = main(["--scale", "0.05", "--simulator", "fast", "--engine", "compiled",
+                          "--backend", "multiprocess", "--jobs", "2",
+                          "--figures", "fig10", "--output", str(output)])
+        assert exit_code == 0
+        text = output.read_text()
+        assert "Fig. 10" in text
+        assert "backend=multiprocess[2]" in text
+        assert "engine=compiled" in text
+
     def test_run_all_fig9_only(self):
         config = StudyConfig(characterization_length=120, training_length=120,
                              evaluation_length=100, seed=2, simulator="fast")
