@@ -11,8 +11,10 @@ Two entry points share this module:
   that measures the compiled bit-packed engine against the dense
   reference engine on a 32-bit adder trace, measures the execution
   backends of :mod:`repro.runtime` (serial vs multiprocess) on an
-  end-to-end characterization of the twelve paper designs, and records
-  everything — with backend, worker count and host metadata — in
+  end-to-end characterization of the twelve paper designs, measures the
+  persistent result cache cold (simulate + persist) vs warm (every job
+  served bit-identically from disk), and records everything — with
+  backend, worker count and host metadata — in
   ``BENCH_throughput.json`` at the repository root, so the performance
   trajectory of the simulation core is tracked across PRs.  The
   reference engine executes the seed algorithm (per-gate ``uint8``
@@ -26,7 +28,9 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -146,9 +150,12 @@ def run_backend_comparison(cycles: int = 600, workers: int = 4,
     reference_results = None
     job_count = 0
     for backend in backends:
+        # cache_dir is pinned off: a result-cache hit on the second
+        # backend would turn the serial-vs-multiprocess comparison into
+        # a disk-read benchmark.
         config = StudyConfig(simulator=simulator, engine=engine, backend=backend,
                              workers=workers, characterization_length=max(cycles, 16),
-                             trace_scale=1.0)
+                             trace_scale=1.0, cache_dir=None)
         entries = config.design_entries()
         job_count = len(entries)
         trace = config.characterization_trace()
@@ -189,6 +196,62 @@ def run_backend_comparison(cycles: int = 600, workers: int = 4,
         else:
             record["passed"] = record["speedup"] >= BACKEND_SPEEDUP_TARGET
     return record
+
+
+def run_cache_comparison(cycles: int = 600, simulator: str = "fast",
+                         engine: str = "auto") -> dict:
+    """Cold vs warm wall time of the persistent result cache.
+
+    Characterises the twelve paper designs twice against one throwaway
+    cache directory: the cold run simulates and persists, the warm run
+    must serve every job from disk (zero simulation) bit-identically.
+    Returns the record section with both wall times, the warm speedup
+    and the hit/miss counters of each pass.
+    """
+    from repro.experiments.common import shutdown_backends
+    from repro.runtime import CachingBackend
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        config = StudyConfig(simulator=simulator, engine=engine, backend="serial",
+                             characterization_length=max(cycles, 16),
+                             trace_scale=1.0, cache_dir=cache_dir)
+        entries = config.design_entries()
+        trace = config.characterization_trace()
+        backend = config.runtime_backend()
+        assert isinstance(backend, CachingBackend)
+
+        started = time.perf_counter()
+        cold_results = characterize_designs(entries, trace, config)
+        cold_s = time.perf_counter() - started
+        cold_misses = backend.stats.misses
+
+        started = time.perf_counter()
+        warm_results = characterize_designs(entries, trace, config)
+        warm_s = time.perf_counter() - started
+        warm_hits = backend.stats.hits
+
+        for want, got in zip(cold_results, warm_results):
+            for clk, timing in want.timing_traces.items():
+                other = got.timing_traces[clk]
+                assert np.array_equal(timing.sampled_words, other.sampled_words), \
+                    f"warm cache run disagrees on {want.name} at clock {clk}"
+        assert backend.stats.misses == cold_misses, "warm run executed simulation jobs"
+
+        return {
+            "jobs": len(entries),
+            "trace_cycles": max(cycles, 16),
+            "simulator": simulator,
+            "engine": engine,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "cold_misses": cold_misses,
+            "warm_hits": warm_hits,
+        }
+    finally:
+        shutdown_backends()
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def _best_of(callable_, repeats):
@@ -300,6 +363,8 @@ def main(argv=None) -> int:
     backends = ("serial", "multiprocess") if args.backend == "both" else (args.backend,)
     chars = record["results"]["characterization_backends"] = run_backend_comparison(
         cycles=args.backend_cycles, workers=args.jobs, backends=backends)
+    cache = record["results"]["result_cache"] = run_cache_comparison(
+        cycles=args.backend_cycles)
     # The artifact's overall verdict covers both bars: the engine speedup
     # and (when the host can judge it) the backend speedup.
     record["engine_passed"] = record.pop("passed")
@@ -324,6 +389,13 @@ def main(argv=None) -> int:
         elif "note" in chars:
             verdict = "  (host-bound, see note)"
         print(f"  speedup         : {chars['speedup']:8.2f}x{verdict}")
+    print(f"result cache, {cache['jobs']} designs, {cache['trace_cycles']} cycles "
+          f"({cache['simulator']} tier):")
+    print(f"  cold (simulate) : {cache['cold_s'] * 1e3:8.1f} ms  "
+          f"({cache['cold_misses']} misses)")
+    print(f"  warm (from disk): {cache['warm_s'] * 1e3:8.1f} ms  "
+          f"({cache['warm_hits']} hits, zero simulation)")
+    print(f"  warm speedup    : {cache['warm_speedup']:8.1f}x")
     print(f"[written to {args.output}]")
     return 0 if (record["passed"] or args.smoke) else 1
 

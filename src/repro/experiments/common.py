@@ -19,6 +19,7 @@ period of the plan.
 
 from __future__ import annotations
 
+import atexit
 import os
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
@@ -30,6 +31,7 @@ from repro.runtime import (
     BACKENDS,
     SIMULATORS,
     Backend,
+    CachingBackend,
     CharacterizationJob,
     DesignCharacterization,
     get_backend,
@@ -51,9 +53,22 @@ TRACE_SCALE_ENV = "REPRO_TRACE_SCALE"
 BACKEND_ENV = "REPRO_BACKEND"
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment variable naming the persistent on-disk result cache
+#: directory (empty or unset means no cache); read once at
+#: :class:`StudyConfig` construction into the ``cache_dir`` field.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
 
 def _env_trace_scale() -> float:
-    return float(os.environ.get(TRACE_SCALE_ENV, "1.0"))
+    value = os.environ.get(TRACE_SCALE_ENV, "")
+    if not value:
+        return 1.0
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"{TRACE_SCALE_ENV} must be a number (trace-length scale factor), "
+            f"got {value!r}") from None
 
 
 def _env_backend() -> str:
@@ -62,12 +77,44 @@ def _env_backend() -> str:
 
 def _env_workers() -> Optional[int]:
     value = os.environ.get(WORKERS_ENV, "")
-    return int(value) if value else None
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be a positive integer worker count, "
+            f"got {value!r}") from None
+
+
+def _env_cache_dir() -> Optional[str]:
+    return os.environ.get(CACHE_DIR_ENV) or None
 
 
 #: Shared backend instances per (backend, workers) pair — keeps the
 #: multiprocess pool (and its per-worker caches) alive between calls.
 _BACKEND_INSTANCES: dict = {}
+
+#: Shared caching wrappers per (backend, workers, cache dir) triple, so
+#: hit/miss counters accumulate over a whole study run.
+_CACHING_INSTANCES: dict = {}
+
+
+def shutdown_backends() -> None:
+    """Close every shared backend (worker pools included); idempotent.
+
+    Registered with :mod:`atexit` so multiprocess pools never outlive
+    the interpreter silently; tests call it directly to assert clean
+    pool teardown and to reset the shared-instance registry.
+    """
+    for registry in (_CACHING_INSTANCES, _BACKEND_INSTANCES):
+        instances = list(registry.values())
+        registry.clear()
+        for backend in instances:
+            backend.close()
+
+
+atexit.register(shutdown_backends)
 
 
 @dataclass(frozen=True)
@@ -84,6 +131,7 @@ class StudyConfig:
     backend: str = field(default_factory=_env_backend)
     workers: Optional[int] = field(default_factory=_env_workers)
     trace_scale: float = field(default_factory=_env_trace_scale)
+    cache_dir: Optional[str] = field(default_factory=_env_cache_dir)
     clock_plan: ClockPlan = field(default_factory=ClockPlan.paper)
     synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
     model: TimingModelOptions = field(default_factory=TimingModelOptions)
@@ -165,13 +213,23 @@ class StudyConfig:
         Backend instances are shared per (backend, workers) pair so that
         the multiprocess worker pool — and with it the per-worker design
         caches — stays warm across successive characterisation calls.
+        With ``cache_dir`` set the backend is fronted by the persistent
+        on-disk result cache (also shared, so hit/miss counters span a
+        whole study run).
         """
         key = (self.backend, self.workers)
         backend = _BACKEND_INSTANCES.get(key)
         if backend is None:
             backend = _BACKEND_INSTANCES[key] = get_backend(self.backend,
                                                             workers=self.workers)
-        return backend
+        if self.cache_dir is None:
+            return backend
+        cache_key = key + (os.path.abspath(os.path.expanduser(self.cache_dir)),)
+        caching = _CACHING_INSTANCES.get(cache_key)
+        if caching is None or caching.inner is not backend:
+            caching = _CACHING_INSTANCES[cache_key] = CachingBackend(backend,
+                                                                     self.cache_dir)
+        return caching
 
 
 def characterize_design(entry: DesignEntry, trace: OperandTrace, config: StudyConfig,

@@ -7,10 +7,14 @@ optionally writing them to a results file.
 
 All characterisation is routed through the job pipeline of
 :mod:`repro.runtime`: the runner builds one :class:`StudyConfig` from the
-CLI knobs (simulator tier, fast-engine tier, execution backend and
-worker count), the figure drivers turn their designs into job batches,
-and the selected backend — ``serial`` or ``multiprocess`` — schedules
-them.  Fig. 9 and Fig. 10 share a single characterization batch.
+CLI knobs (simulator tier, fast-engine tier, execution backend, worker
+count and result-cache directory), the figure drivers turn their designs
+into job batches, and the selected backend — ``serial`` or
+``multiprocess``, optionally fronted by the persistent on-disk result
+cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``) — schedules them.
+Fig. 9 and Fig. 10 share a single characterization batch; a warm cache
+reproduces every figure bit-identically without executing a single
+simulation job (the footer reports the hit/miss counts).
 
 Example::
 
@@ -32,7 +36,7 @@ from repro.experiments.designs import FIG10_QUADRUPLE
 from repro.experiments.fig9_rms import run_fig9
 from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
-from repro.runtime import BACKENDS
+from repro.runtime import BACKENDS, CachingBackend
 from repro.timing.fast_sim import ENGINES
 
 
@@ -56,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes of the multiprocess backend "
                              "(default: $REPRO_WORKERS or one per CPU)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="persistent on-disk result cache: characterization jobs "
+                             "already in the cache skip simulation entirely and "
+                             "reproduce bit-identically; misses are simulated and "
+                             "stored for the next run (default: $REPRO_CACHE_DIR, "
+                             "or no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even when $REPRO_CACHE_DIR "
+                             "is set")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
                         choices=["fig7", "fig8", "fig9", "fig10"],
@@ -98,23 +111,35 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
         sections.append(run_fig10(config, characterization=fig10_characterization).format_table())
 
     elapsed = time.time() - started
-    backend = config.runtime_backend().describe()
+    backend_instance = config.runtime_backend()
+    cache_note = ""
+    if isinstance(backend_instance, CachingBackend):
+        cache_note = (f", cache={backend_instance.stats.describe()} "
+                      f"[{backend_instance.store.root}]")
     sections.append(f"(regenerated {', '.join(figures)} in {elapsed:.1f} s, "
                     f"simulator={config.simulator}, engine={config.engine}, "
-                    f"backend={backend}, trace_scale={config.trace_scale:g}, "
-                    f"seed={config.seed})")
+                    f"backend={backend_instance.describe()}, "
+                    f"trace_scale={config.trace_scale:g}, "
+                    f"seed={config.seed}{cache_note})")
     return "\n\n".join(sections)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
-    arguments = build_parser().parse_args(argv)
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.no_cache and arguments.cache_dir:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
     overrides = {"simulator": arguments.simulator, "engine": arguments.engine,
                  "seed": arguments.seed}
     if arguments.backend is not None:
         overrides["backend"] = arguments.backend
     if arguments.jobs is not None:
         overrides["workers"] = arguments.jobs
+    if arguments.no_cache:
+        overrides["cache_dir"] = None
+    elif arguments.cache_dir is not None:
+        overrides["cache_dir"] = arguments.cache_dir
     config = StudyConfig(**overrides)
     if arguments.scale != 1.0:
         # --scale composes with $REPRO_TRACE_SCALE through the explicit

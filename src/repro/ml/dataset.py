@@ -89,7 +89,8 @@ def dataset_summary(datasets: List[BitDataset]) -> Dict[int, float]:
 
 
 def collect_bit_datasets(jobs: Sequence["CharacterizationJob"], backend="serial",
-                         workers: Optional[int] = None
+                         workers: Optional[int] = None,
+                         cache_dir: Optional[str] = None
                          ) -> List[Dict[float, List[BitDataset]]]:
     """Characterise a batch of jobs and assemble their per-bit datasets.
 
@@ -98,10 +99,12 @@ def collect_bit_datasets(jobs: Sequence["CharacterizationJob"], backend="serial"
     timing trace become one :class:`BitDataset` list.  The result is one
     ``{clock_period: [BitDataset, ...]}`` dict per job, in submission
     order — ready for :meth:`BitLevelTimingModel.fit` at any CPR level.
+    ``cache_dir`` fronts the backend with the persistent result cache,
+    so re-collecting the same jobs skips simulation entirely.
     """
     from repro.runtime import run_jobs  # deferred: keeps repro.ml importable standalone
 
-    results = run_jobs(jobs, backend=backend, workers=workers)
+    results = run_jobs(jobs, backend=backend, workers=workers, cache_dir=cache_dir)
     collected: List[Dict[float, List[BitDataset]]] = []
     for job, characterization in zip(jobs, results):
         collected.append({

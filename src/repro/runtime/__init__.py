@@ -14,7 +14,13 @@ a :class:`Backend`:
 The experiment drivers (`repro.experiments`), the dataset assembly
 (`repro.ml.dataset`), the ``repro-experiments`` CLI and the throughput
 benchmarks all characterise through this runtime; future scaling work
-(sharding, async, remote workers) plugs in here as additional backends.
+(async, remote workers) plugs in here as additional backends.
+
+:mod:`repro.runtime.cache` adds persistence on top: wrapping any
+backend in a :class:`CachingBackend` stores every result in a
+content-addressed on-disk store keyed by the job's full identity, so
+re-runs (and large sharded traces interrupted half-way) reuse finished
+work bit-identically instead of re-simulating it.
 
 Quick start::
 
@@ -34,6 +40,13 @@ from repro.runtime.backends import (
     get_backend,
     run_jobs,
 )
+from repro.runtime.cache import (
+    CacheStats,
+    CachingBackend,
+    ResultStore,
+    job_digest,
+    trace_digest,
+)
 from repro.runtime.jobs import (
     SIMULATORS,
     CharacterizationJob,
@@ -49,15 +62,20 @@ __all__ = [
     "BACKENDS",
     "SIMULATORS",
     "Backend",
+    "CacheStats",
+    "CachingBackend",
     "CharacterizationJob",
     "DesignCharacterization",
     "MultiprocessBackend",
+    "ResultStore",
     "SerialBackend",
     "build_simulator",
     "execute_job",
     "get_backend",
+    "job_digest",
     "merge_timing_chunks",
     "run_jobs",
     "synthesize_entry",
     "synthesize_job",
+    "trace_digest",
 ]

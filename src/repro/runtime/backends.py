@@ -60,6 +60,9 @@ class Backend:
         """Short human-readable backend description (recorded in reports)."""
         return self.name
 
+    def close(self) -> None:
+        """Release held resources (worker pools); idempotent, no-op by default."""
+
 
 class SerialBackend(Backend):
     """Run every job in the calling process, one after the other.
@@ -284,6 +287,28 @@ def get_backend(backend, workers: Optional[int] = None) -> Backend:
 
 
 def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
-             workers: Optional[int] = None) -> List[DesignCharacterization]:
-    """Run a batch of characterization jobs on the requested backend."""
-    return get_backend(backend, workers=workers).run(jobs)
+             workers: Optional[int] = None,
+             cache_dir: Optional[str] = None) -> List[DesignCharacterization]:
+    """Run a batch of characterization jobs on the requested backend.
+
+    ``cache_dir`` fronts the backend with the persistent on-disk result
+    cache of :mod:`repro.runtime.cache`: hits skip execution entirely,
+    misses run on the backend and are persisted for the next call.
+
+    This is the one-shot convenience entry point: a backend constructed
+    here from a *name* (and its worker pool, if any) is closed before
+    returning.  To keep a pool and its per-worker caches warm across
+    batches, pass a :class:`Backend` instance you own — it is left
+    open — or schedule through ``StudyConfig.runtime_backend()``.
+    """
+    inner = get_backend(backend, workers=workers)
+    owns_inner = inner is not backend  # constructed here, not caller-supplied
+    resolved = inner
+    if cache_dir is not None:
+        from repro.runtime.cache import CachingBackend  # deferred: cache builds on backends
+        resolved = CachingBackend(inner, cache_dir)
+    try:
+        return resolved.run(jobs)
+    finally:
+        if owns_inner:
+            inner.close()

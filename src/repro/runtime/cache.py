@@ -1,0 +1,445 @@
+"""Persistent on-disk result cache for characterization jobs.
+
+Re-running the paper's experiments re-characterises the same
+(design x trace x clock plan) units on every figure run.  This module
+adds a content-addressed store so that work survives across processes:
+
+* :func:`job_digest` derives a stable SHA-256 key from the *full*
+  identity of a :class:`~repro.runtime.jobs.CharacterizationJob` — the
+  design entry and synthesis options, the trace content (operand bytes,
+  not the presentational trace name), the clock plan, the simulator
+  tier, the fast-engine tier, the structural-stats request and the
+  library version.  Any change to any of these yields a new key, which
+  is the entire invalidation story: stale entries are never *wrong*,
+  only unreachable.
+* :class:`ResultStore` is the on-disk layout: one directory per digest
+  holding either a monolithic ``result.pkl`` or — for traces larger
+  than the shard threshold — a ``golden.pkl`` plus word-aligned
+  ``shard-<start>-<stop>.pkl`` timing shards (the spans of
+  :func:`~repro.circuit.compiled.transition_chunks`).  Every write goes
+  to a temp file in the same directory followed by :func:`os.replace`,
+  so concurrent writers (e.g. multiprocess runs sharing one cache
+  directory) can never expose a torn file.  Unreadable or truncated
+  entries are discarded and recomputed, never raised.
+* :class:`CachingBackend` decorates any execution backend: hits
+  deserialise stored :class:`~repro.runtime.jobs.DesignCharacterization`
+  results bit-identically, misses delegate to the inner backend in one
+  batch (preserving its scheduling) and persist on return.  Because
+  both simulator tiers are transition-local, a sharded entry merges via
+  :func:`~repro.runtime.jobs.merge_timing_chunks` into exactly the
+  full-trace result, and a partially-populated entry (an interrupted
+  run) resumes chunk by chunk — only the missing shards are simulated.
+
+Two cost deviations on the *cold sharded* path, both bounded by one
+golden-pass-equivalent per job and both absent from warm runs and from
+ordinary (unsharded) misses: the full-trace golden references are
+computed in the calling process (the backend interface only executes
+whole jobs), and the delegated timing chunks — being whole jobs — each
+re-derive chunk-local golden words that assembly discards.  A golden
+pass is one packed netlist evaluation plus vectorised behavioural
+adds, cheap next to the multi-clock timing shards it accompanies;
+scheduling golden/timing sub-jobs through the backend interface
+directly is noted on the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._version import __version__
+from repro.circuit.compiled import transition_chunks
+from repro.circuit.library import TechnologyLibrary
+from repro.exceptions import ConfigurationError
+from repro.runtime.backends import Backend, get_backend
+from repro.runtime.jobs import (
+    CharacterizationJob,
+    DesignCharacterization,
+    golden_reference,
+    merge_timing_chunks,
+    synthesize_job,
+)
+
+#: Bumped whenever the stored payload layout changes; old entries are
+#: then unreadable by design and silently recomputed.
+CACHE_FORMAT = 1
+
+#: Traces with more transitions than this spill to per-chunk timing
+#: shards instead of one monolithic result pickle (word-aligned via
+#: :func:`transition_chunks`), so interrupted runs resume chunk by chunk.
+DEFAULT_SHARD_TRANSITIONS = 65536
+
+
+# --------------------------------------------------------------------- #
+# Job identity -> digest
+# --------------------------------------------------------------------- #
+def _canonical(value):
+    """JSON-serialisable canonical form of a cache-key component.
+
+    Floats go through :meth:`float.hex` so the digest is exact, not
+    subject to repr rounding; dataclasses flatten to name-tagged field
+    dicts; libraries use their value key (the same one their ``__eq__``
+    compares by).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float.hex(value)
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, TechnologyLibrary):
+        return {"__library__": _canonical(value._value_key())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _canonical(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        fields["__dataclass__"] = type(value).__name__
+        return fields
+    raise ConfigurationError(
+        f"cannot derive a stable cache key from a {type(value).__name__} "
+        f"({value!r}); cache keys are built from primitives and dataclasses")
+
+
+def _canonical_synthesis(options) -> dict:
+    """Synthesis options with the variation seed normalised for keying.
+
+    With ``variation_sigma == 0`` the seed cannot influence the result,
+    so it is normalised away (all unvaried runs share entries).  With a
+    positive sigma only integer seeds are reproducible enough to cache
+    under — generator objects carry hidden state a digest cannot see.
+    """
+    canonical = _canonical(
+        dataclasses.replace(options, variation_seed=None)
+        if options.variation_sigma == 0 else
+        options if isinstance(options.variation_seed, int) else None)
+    if canonical is None:
+        raise ConfigurationError(
+            "result caching with variation_sigma > 0 requires an integer "
+            f"variation_seed, got {options.variation_seed!r}")
+    return canonical
+
+
+def trace_digest(trace) -> str:
+    """SHA-256 of a trace's *content*: width, length and operand bytes.
+
+    The trace name is deliberately excluded — it records provenance
+    (e.g. slice positions), not stimulus, and two identically-valued
+    traces must share cache entries.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"operand-trace/{trace.width}/{trace.length}/".encode())
+    digest.update(np.asarray(trace.a, dtype=np.uint64).astype("<u8", copy=False).tobytes())
+    digest.update(np.asarray(trace.b, dtype=np.uint64).astype("<u8", copy=False).tobytes())
+    return digest.hexdigest()
+
+
+def job_digest(job: CharacterizationJob) -> str:
+    """Stable content digest of a characterization job's full identity."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "library_version": __version__,
+        "entry": _canonical(job.entry),
+        "width": job.width,
+        "output_bus": job.output_bus,
+        "collect_structural_stats": job.collect_structural_stats,
+        "simulator": job.simulator,
+        "engine": job.engine,
+        "clock_periods": _canonical(job.clock_periods),
+        "synthesis": _canonical_synthesis(job.synthesis),
+        "trace": trace_digest(job.trace),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# On-disk store
+# --------------------------------------------------------------------- #
+@dataclass
+class CacheStats:
+    """Counters of one :class:`CachingBackend` (cumulative across runs)."""
+
+    hits: int = 0
+    misses: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+    corrupt: int = 0
+
+    def describe(self) -> str:
+        """Footer-ready summary, e.g. ``"24 hits / 0 misses"``."""
+        text = f"{self.hits} hits / {self.misses} misses"
+        if self.shard_hits or self.shard_misses:
+            text += f" ({self.shard_hits} shards reused, {self.shard_misses} recomputed)"
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt entries discarded"
+        return text
+
+
+class ResultStore:
+    """Content-addressed pickle store with atomic, corruption-safe entries.
+
+    Layout: ``<root>/<digest[:2]>/<digest>/`` holds ``result.pkl``
+    (monolithic entries), or ``golden.pkl`` plus
+    ``shard-<start>-<stop>.pkl`` files (sharded entries), plus a
+    best-effort human-readable ``meta.json``.
+    """
+
+    def __init__(self, root, stats: Optional[CacheStats] = None) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def entry_dir(self, digest: str) -> Path:
+        """Directory holding every file of one cache entry."""
+        return self.root / digest[:2] / digest
+
+    def result_path(self, digest: str) -> Path:
+        return self.entry_dir(digest) / "result.pkl"
+
+    def golden_path(self, digest: str) -> Path:
+        return self.entry_dir(digest) / "golden.pkl"
+
+    def shard_path(self, digest: str, start: int, stop: int) -> Path:
+        return self.entry_dir(digest) / f"shard-{start:010d}-{stop:010d}.pkl"
+
+    # ------------------------------------------------------------------ #
+    def load(self, path: Path):
+        """The stored payload, or ``None`` when absent or unreadable.
+
+        A truncated, corrupted or foreign-format file is discarded and
+        counted — the caller recomputes; a damaged cache never crashes
+        a run.
+        """
+        try:
+            with open(path, "rb") as handle:
+                wrapper = pickle.load(handle)
+            if wrapper["format"] != CACHE_FORMAT:
+                raise ValueError(f"unknown cache format {wrapper['format']!r}")
+            return wrapper["payload"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.stats.corrupt += 1
+            self._discard(path)
+            return None
+
+    def store(self, path: Path, payload) -> None:
+        """Atomically persist ``payload`` (write-to-temp + rename).
+
+        The temp file lives in the target directory so the final
+        :func:`os.replace` stays on one filesystem and is atomic;
+        concurrent writers of the same key each publish a complete file
+        and the last rename wins (all writers produce identical bytes
+        for identical keys, so the winner does not matter).
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                             suffix=".pkl")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump({"format": CACHE_FORMAT, "payload": payload}, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def write_meta(self, digest: str, meta: dict) -> None:
+        """Best-effort ``meta.json`` describing the entry for humans."""
+        path = self.entry_dir(digest) / "meta.json"
+        if path.exists():
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                                 suffix=".json")
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(meta, stream, indent=2, sort_keys=True)
+            os.replace(temp_name, path)
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+
+    def _discard(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# The caching decorator backend
+# --------------------------------------------------------------------- #
+@dataclass
+class _JobPlan:
+    """What one job of a batch needs: nothing (hit), or delegated work."""
+
+    job: CharacterizationJob
+    digest: str
+    result: Optional[DesignCharacterization] = None
+    spans: Optional[List[Tuple[int, int]]] = None
+    golden: Optional[tuple] = None
+    shard_payloads: Dict[Tuple[int, int], dict] = field(default_factory=dict)
+    missing: List[Tuple[int, int]] = field(default_factory=list)
+    pending: List[CharacterizationJob] = field(default_factory=list)
+    computed: List[DesignCharacterization] = field(default_factory=list)
+
+
+class CachingBackend(Backend):
+    """Front any execution backend with the persistent result store.
+
+    Parameters
+    ----------
+    inner:
+        The backend (or backend name) that executes cache misses.
+    cache_dir:
+        Root directory of the store (created on demand).
+    shard_transitions:
+        Traces with more transitions than this are stored as per-chunk
+        timing shards instead of one monolithic pickle, enabling
+        chunk-by-chunk resume of interrupted runs.  ``None`` disables
+        sharding.
+    """
+
+    name = "cache"
+
+    def __init__(self, inner, cache_dir,
+                 shard_transitions: Optional[int] = DEFAULT_SHARD_TRANSITIONS) -> None:
+        if shard_transitions is not None and shard_transitions < 1:
+            raise ConfigurationError(
+                f"shard_transitions must be at least 1, got {shard_transitions}")
+        self.inner = get_backend(inner)
+        self.stats = CacheStats()
+        self.store = ResultStore(cache_dir, stats=self.stats)
+        self.shard_transitions = shard_transitions
+
+    def describe(self) -> str:
+        return f"cache[{self.inner.describe()}]"
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        plans = [self._plan(job) for job in jobs]
+
+        # One delegated batch covering every miss — plain jobs and
+        # missing shards alike — so the inner backend schedules at its
+        # full batch granularity.  A fully warm batch delegates nothing.
+        pending: List[CharacterizationJob] = []
+        owners: List[_JobPlan] = []
+        for plan in plans:
+            pending.extend(plan.pending)
+            owners.extend([plan] * len(plan.pending))
+        if pending:
+            for plan, computed in zip(owners, self.inner.run(pending)):
+                plan.computed.append(computed)
+
+        return [self._assemble(plan) for plan in plans]
+
+    # ------------------------------------------------------------------ #
+    def _sharded(self, job: CharacterizationJob) -> bool:
+        return (self.shard_transitions is not None
+                and job.trace.transitions > self.shard_transitions)
+
+    def _plan(self, job: CharacterizationJob) -> _JobPlan:
+        digest = job_digest(job)
+        plan = _JobPlan(job=job, digest=digest)
+        if self._sharded(job):
+            self._plan_sharded(plan)
+            return plan
+        payload = self.store.load(self.store.result_path(digest))
+        if payload is not None:
+            payload.trace = job.trace  # stripped before storage, restore
+            plan.result = payload
+            self.stats.hits += 1
+        else:
+            plan.pending.append(job)
+            self.stats.misses += 1
+        return plan
+
+    def _plan_sharded(self, plan: _JobPlan) -> None:
+        job, digest = plan.job, plan.digest
+        plan.spans = transition_chunks(job.trace.transitions, self.shard_transitions)
+        plan.golden = self.store.load(self.store.golden_path(digest))
+        for start, stop in plan.spans:
+            payload = self.store.load(self.store.shard_path(digest, start, stop))
+            if payload is not None:
+                plan.shard_payloads[(start, stop)] = payload
+                self.stats.shard_hits += 1
+            else:
+                plan.missing.append((start, stop))
+                self.stats.shard_misses += 1
+        if plan.golden is not None and not plan.missing:
+            self.stats.hits += 1
+            return
+        self.stats.misses += 1
+        if plan.golden is None:
+            # The golden pass (synthesis cross-check + behavioural
+            # references) runs in-process: the backend interface only
+            # executes whole jobs, and this pass is cheap next to the
+            # multi-clock timing shards it accompanies.
+            synthesized = synthesize_job(job)
+            plan.golden = (synthesized,) + golden_reference(job, synthesized)
+            self.store.store(self.store.golden_path(digest), plan.golden)
+        for start, stop in plan.missing:
+            # A chunk over transitions [start, stop) simulates vectors
+            # [start, stop] — one vector of overlap, exactly as the
+            # multiprocess backend splits.  The chunk job never collects
+            # structural stats; the golden pass covers the full trace.
+            plan.pending.append(dataclasses.replace(
+                job, trace=job.trace.slice(start, stop + 1),
+                collect_structural_stats=False))
+
+    def _assemble(self, plan: _JobPlan) -> DesignCharacterization:
+        if plan.result is not None:
+            return plan.result
+        if plan.spans is None:
+            [result] = plan.computed
+            self.store.store(self.store.result_path(plan.digest),
+                             dataclasses.replace(result, trace=None))
+            self._write_meta(plan, sharded=False)
+            return result
+        for span, chunk in zip(plan.missing, plan.computed):
+            payload = chunk.timing_traces
+            self.store.store(self.store.shard_path(plan.digest, *span), payload)
+            plan.shard_payloads[span] = payload
+        self._write_meta(plan, sharded=True)
+        synthesized, diamond, gold, structural_stats, netlist_words = plan.golden
+        return DesignCharacterization(
+            entry=plan.job.entry,
+            synthesized=synthesized,
+            trace=plan.job.trace,
+            diamond_words=diamond,
+            gold_words=gold,
+            timing_traces=merge_timing_chunks(
+                plan.shard_payloads[span] for span in plan.spans),
+            structural_stats=structural_stats,
+            netlist_words=netlist_words,
+        )
+
+    def _write_meta(self, plan: _JobPlan, sharded: bool) -> None:
+        job = plan.job
+        self.store.write_meta(plan.digest, {
+            "design": job.name,
+            "trace_length": job.trace.length,
+            "clock_periods": list(job.clock_periods),
+            "simulator": job.simulator,
+            "engine": job.engine,
+            "collect_structural_stats": job.collect_structural_stats,
+            "library_version": __version__,
+            "sharded": sharded,
+        })

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -9,6 +10,10 @@ import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.utils.bitops import mask
+
+#: Trailing slice suffix of a derived trace name (``base[start:stop]``,
+#: with either bound possibly omitted as in ``base[:100]`` / ``base[50:]``).
+_SLICE_SUFFIX = re.compile(r"^(?P<base>.*)\[(?P<start>\d*):(?P<stop>\d*)\]$")
 
 
 @dataclass(frozen=True)
@@ -61,12 +66,21 @@ class OperandTrace:
         This is the chunking primitive of the execution runtime: a chunk
         of transitions ``[s, e)`` is simulated from the vector slice
         ``[s, e + 1)`` (one vector of overlap with the preceding chunk).
+
+        Slicing a slice composes the offsets, so the name always shows
+        positions in the *original* trace: ``trace[64:128]`` sliced at
+        ``[0, 32)`` is named ``trace[64:96]``, not ``trace[64:128][0:32]``.
         """
         if not 0 <= start < stop <= self.length:
             raise WorkloadError(
                 f"invalid trace slice [{start}, {stop}) of a {self.length}-vector trace")
+        base, offset = self.name, 0
+        match = _SLICE_SUFFIX.match(self.name)
+        if match:
+            base = match.group("base")
+            offset = int(match.group("start") or 0)
         return OperandTrace(a=self.a[start:stop], b=self.b[start:stop], width=self.width,
-                            name=f"{self.name}[{start}:{stop}]")
+                            name=f"{base}[{offset + start}:{offset + stop}]")
 
     def split(self, fraction: float) -> Tuple["OperandTrace", "OperandTrace"]:
         """Split into a leading and trailing trace (e.g. training vs evaluation)."""

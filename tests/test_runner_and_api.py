@@ -5,7 +5,13 @@ import pytest
 
 import repro
 from repro.experiments.runner import build_parser, main, run_all
-from repro.experiments.common import StudyConfig
+from repro.experiments.common import StudyConfig, shutdown_backends
+
+
+def figure_sections(report: str) -> str:
+    """A report minus its timing footer (the only run-dependent line)."""
+    return "\n".join(line for line in report.splitlines()
+                     if not line.startswith("(regenerated"))
 
 
 class TestPublicApi:
@@ -64,8 +70,10 @@ class TestRunnerCli:
 
     def test_main_engine_and_backend_flow(self, tmp_path):
         output = tmp_path / "report.txt"
+        # --no-cache keeps the footer's backend label exact even when the
+        # suite itself runs under $REPRO_CACHE_DIR (the CI cache leg).
         exit_code = main(["--scale", "0.05", "--simulator", "fast", "--engine", "compiled",
-                          "--backend", "multiprocess", "--jobs", "2",
+                          "--backend", "multiprocess", "--jobs", "2", "--no-cache",
                           "--figures", "fig10", "--output", str(output)])
         assert exit_code == 0
         text = output.read_text()
@@ -95,3 +103,38 @@ class TestRunnerCli:
         assert exit_code == 0
         assert output.exists()
         assert "Fig. 9" in output.read_text()
+
+    def test_parser_cache_flags(self):
+        arguments = build_parser().parse_args(["--cache-dir", "/tmp/c"])
+        assert arguments.cache_dir == "/tmp/c"
+        assert arguments.no_cache is False
+        defaults = build_parser().parse_args([])
+        assert defaults.cache_dir is None  # falls back to $REPRO_CACHE_DIR
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", "/tmp/c", "--no-cache"])
+
+    def test_main_warm_cache_run_is_bit_identical(self, tmp_path):
+        """Acceptance: a warm cache reproduces the figures byte-identically
+        with zero simulated jobs (all hits, no misses in the footer)."""
+        cache_dir = tmp_path / "cache"
+        cold_path, warm_path = tmp_path / "cold.txt", tmp_path / "warm.txt"
+        base = ["--scale", "0.05", "--simulator", "fast",
+                "--figures", "fig9", "fig10", "--cache-dir", str(cache_dir)]
+        assert main(base + ["--output", str(cold_path)]) == 0
+        # fresh shared-backend registry, as a new CLI process would have
+        shutdown_backends()
+        assert main(base + ["--output", str(warm_path)]) == 0
+        shutdown_backends()
+        cold, warm = cold_path.read_text(), warm_path.read_text()
+        assert figure_sections(cold) == figure_sections(warm)
+        assert "cache=0 hits / 12 misses" in cold
+        assert "cache=12 hits / 0 misses" in warm
+
+    def test_no_cache_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        output = tmp_path / "report.txt"
+        assert main(["--scale", "0.05", "--simulator", "fast", "--figures", "fig9",
+                     "--no-cache", "--output", str(output)]) == 0
+        report = output.read_text()
+        assert "cache=" not in report
+        assert not (tmp_path / "cache").exists()

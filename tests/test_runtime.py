@@ -238,6 +238,16 @@ class TestBackendApi:
         [parallel] = run_jobs([job], backend="multiprocess", workers=2)
         assert_bit_identical(serial, parallel)
 
+    def test_run_jobs_backend_lifecycle(self):
+        # A name-built backend is one-shot: its pool is closed on return.
+        # A caller-supplied instance is left open for reuse.
+        job = small_job(length=70)
+        with MultiprocessBackend(workers=2) as backend:
+            [first] = run_jobs([job], backend=backend)
+            assert backend._pool is not None
+            [second] = run_jobs([job], backend=backend)
+            assert_bit_identical(first, second)
+
     def test_execute_job_matches_characterize_design(self):
         config = StudyConfig(characterization_length=120, training_length=120,
                              evaluation_length=100, seed=9, simulator="fast",
