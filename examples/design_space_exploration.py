@@ -1,11 +1,17 @@
-"""Design-space exploration: accuracy vs. delay vs. area across ISA configurations.
+"""Design-space exploration: accuracy vs. cost vs. clock across ISA spaces.
 
 The paper selects its twelve designs as "the best implementations fitting
-the 0.3 ns timing constraint".  This example sweeps a grid of ISA
-configurations through the synthesis flow, characterises their structural
-accuracy behaviourally, and prints the Pareto frontier (RMS relative
-error vs. critical-path delay, with gate count as an area proxy) that
-such a selection would be made from.
+the 0.3 ns timing constraint".  This example reruns that selection as a
+search problem with :mod:`repro.explore`: enumerate a constrained slice
+of the legal quadruple space, sweep it — together with the exact
+baseline — over the paper's overclocking points through the cached job
+pipeline, and print the Pareto frontier (exactness guarantee, joint RMS
+relative error, gates, area, clock period) with nearest-paper-design
+annotations.
+
+The same exploration is available from the command line as
+``repro-explore``; this script shows the library API the CLI is built
+from.
 
 Run with::
 
@@ -14,80 +20,45 @@ Run with::
 
 from __future__ import annotations
 
-from itertools import product
+from repro.explore import (
+    DesignSpace,
+    SweepSpec,
+    aggregate_points,
+    pareto_frontier,
+    rank_frontier,
+    run_sweep,
+    sweep_clock_plan,
+)
+from repro.explore.cli import frontier_table
+from repro.workloads.generators import WorkloadSpec
 
-import numpy as np
-
-from repro import ISAConfig, InexactSpeculativeAdder, SynthesisOptions, synthesize
-from repro.analysis.metrics import rms_relative_error
-from repro.analysis.report import format_table
-
-BLOCK_SIZES = (8, 16)
-SPEC_SIZES = (0, 2, 4)
-CORRECTIONS = (0, 1)
-REDUCTIONS = (0, 4)
-VECTORS = 100_000
-
-
-def explore() -> list:
-    """Synthesize and characterise every configuration of the grid."""
-    rng = np.random.default_rng(7)
-    a = rng.integers(0, 2**32, VECTORS, dtype=np.uint64)
-    b = rng.integers(0, 2**32, VECTORS, dtype=np.uint64)
-    exact = a + b
-
-    rows = []
-    options = SynthesisOptions()
-    for block, spec, correction, reduction in product(BLOCK_SIZES, SPEC_SIZES,
-                                                      CORRECTIONS, REDUCTIONS):
-        if spec > block or correction > block or reduction > block:
-            continue
-        config = ISAConfig(width=32, block_size=block, spec_size=spec,
-                           correction=correction, reduction=reduction)
-        design = synthesize(config, options)
-        gold = InexactSpeculativeAdder(config).add_many(a, b)
-        rows.append({
-            "name": config.name,
-            "rms_re": rms_relative_error(exact, gold),
-            "delay_ps": design.critical_path_delay * 1e12,
-            "gates": design.netlist.num_gates,
-            "meets": design.critical_path_delay <= options.clock_constraint + 1e-15,
-        })
-    return rows
-
-
-def pareto_frontier(rows: list) -> set:
-    """Configurations not dominated in (RMS RE, delay, gates)."""
-    frontier = set()
-    for candidate in rows:
-        dominated = any(
-            other["rms_re"] <= candidate["rms_re"]
-            and other["delay_ps"] <= candidate["delay_ps"]
-            and other["gates"] <= candidate["gates"]
-            and (other["rms_re"], other["delay_ps"], other["gates"])
-            != (candidate["rms_re"], candidate["delay_ps"], candidate["gates"])
-            for other in rows)
-        if not dominated:
-            frontier.add(candidate["name"])
-    return frontier
+WIDTH = 32
+MAX_DESIGNS = 24
+VECTORS = 4096
 
 
 def main() -> None:
-    rows = explore()
-    frontier = pareto_frontier(rows)
-    table = [
-        (row["name"],
-         f"{row['rms_re'] * 100:.2e}",
-         f"{row['delay_ps']:.0f}",
-         row["gates"],
-         "yes" if row["meets"] else "NO",
-         "*" if row["name"] in frontier else "")
-        for row in sorted(rows, key=lambda row: row["rms_re"])
-    ]
-    print(format_table(
-        ["design", "RMS RE (%)", "critical path (ps)", "gates", "meets 0.3 ns", "Pareto"],
-        table, title="ISA design-space exploration (structural accuracy vs. circuit cost)"))
-    print(f"\n{len(frontier)} Pareto-optimal configurations out of {len(rows)} explored.")
+    # The paper's own slice of the space: 4x8 and 2x16-bit blocks, with a
+    # cost cap on the speculation/correction/reduction overhead.
+    space = DesignSpace(width=WIDTH, block_sizes=(8, 16), max_overhead_bits=12)
+    entries = space.entries(max_designs=MAX_DESIGNS)
+    print(f"space: {space.describe()}")
+
+    spec = SweepSpec(
+        entries=tuple(entries),
+        clock_plan=sweep_clock_plan(),  # safe period + 5/10/15 % CPR
+        workloads=(WorkloadSpec("uniform", VECTORS, width=WIDTH, seed=7),),
+        simulator="fast",
+        width=WIDTH,
+    )
+    print(f"sweep: {spec.describe()}\n")
+    result = run_sweep(spec)
+
+    candidates = aggregate_points(result.points)
+    ranked = rank_frontier(pareto_frontier(candidates))
+    print(frontier_table(ranked, total_candidates=len(candidates)))
+    print(f"\n{len(ranked)} Pareto-optimal (design x CPR) points out of "
+          f"{len(candidates)} explored.")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,9 @@ Walks through the full methodology of the paper for a single ISA design:
 
 1. synthesize the design to the 0.3 ns constraint (gate sizing included),
 2. run delay-annotated timing simulation at 5/10/15 % clock-period
-   reduction,
+   reduction — both traces go through the characterization job pipeline
+   of :mod:`repro.runtime`, so the design is synthesized once and the
+   study parallelises/caches like every other driver,
 3. combine structural and timing errors (diamond / gold / silver outputs),
 4. train the per-bit random-forest timing-error predictor and report its
    ABPER / AVPE,
@@ -21,17 +23,17 @@ import sys
 
 from repro import (
     BitLevelTimingModel,
+    CharacterizationJob,
     ClockPlan,
     ISAConfig,
-    InexactSpeculativeAdder,
     TimingModelOptions,
     combine_errors,
-    synthesize,
+    run_jobs,
     uniform_workload,
 )
 from repro.analysis.distribution import bit_error_distribution
 from repro.analysis.report import format_log_value, format_table
-from repro.timing.event_sim import EventDrivenSimulator
+from repro.experiments.designs import isa_entry
 
 CHARACTERIZATION_VECTORS = 2500
 TRAINING_VECTORS = 1500
@@ -47,20 +49,26 @@ def main(argv=None) -> None:
     quadruple = parse_quadruple(argv or sys.argv)
     config = ISAConfig.from_quadruple(quadruple)
     plan = ClockPlan.paper()
-
-    print(f"Synthesizing ISA {config.name} for the {plan.safe_period * 1e9:.1f} ns constraint...")
-    design = synthesize(config)
-    print(design.describe())
-
-    adder = InexactSpeculativeAdder(config)
-    simulator = EventDrivenSimulator(design.netlist, design.annotation)
+    entry = isa_entry(quadruple)
 
     trace = uniform_workload(CHARACTERIZATION_VECTORS, width=config.width, seed=21)
-    gold, structural_stats = adder.add_many_with_stats(trace.a, trace.b)
-    diamond = trace.a + trace.b
-    print(f"\nRunning delay-annotated simulation over {trace.transitions} transitions "
-          f"at {plan.labels()} CPR...")
-    timing_traces = simulator.run_trace_multi(trace.as_operands(), plan.periods)
+    train = uniform_workload(TRAINING_VECTORS, width=config.width, seed=22)
+
+    print(f"Characterizing ISA {config.name} over {trace.transitions} transitions "
+          f"at {plan.labels()} CPR (event-driven tier, job pipeline)...")
+    characterization, training = run_jobs([
+        CharacterizationJob(entry=entry, trace=trace, clock_periods=plan.periods,
+                            simulator="event", collect_structural_stats=True),
+        CharacterizationJob(entry=entry, trace=train, clock_periods=plan.periods,
+                            simulator="event"),
+    ])
+    design = characterization.synthesized
+    print(design.describe())
+
+    gold = characterization.gold_words
+    diamond = characterization.diamond_words
+    structural_stats = characterization.structural_stats
+    timing_traces = characterization.timing_traces
 
     rows = []
     for cpr, period in plan.items():
@@ -77,9 +85,8 @@ def main(argv=None) -> None:
         rows, title=f"Error combination for ISA {config.name}"))
 
     # --- timing-error prediction (paper Section III) -------------------- #
-    train = uniform_workload(TRAINING_VECTORS, width=config.width, seed=22)
-    train_gold = adder.add_many(train.a, train.b)
-    train_timing = simulator.run_trace_multi(train.as_operands(), plan.periods)
+    train_gold = training.gold_words
+    train_timing = training.timing_traces
     prediction_rows = []
     for cpr, period in plan.items():
         model = BitLevelTimingModel(design=config.name, clock_period=period,

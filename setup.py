@@ -1,10 +1,45 @@
-"""Setuptools shim.
+"""Package metadata and console entry points.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works in fully offline environments where the
-PEP 660 editable-wheel path is unavailable (no ``wheel`` package).
+``pip install -e .`` (or a plain install) exposes two CLIs:
+
+* ``repro-experiments`` — regenerate the paper's Figs. 7-10
+  (:func:`repro.experiments.runner.main`);
+* ``repro-explore`` — enumerate, sweep and Pareto-rank ISA design
+  spaces through the cached job pipeline
+  (:func:`repro.explore.cli.main`).
+
+The modules also run without installation via ``PYTHONPATH=src
+python -m repro.experiments.runner`` / ``python -m repro.explore.cli``.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py"), encoding="utf-8") as handle:
+        match = re.search(r"__version__\s*=\s*['\"]([^'\"]+)['\"]", handle.read())
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-isa-overclocking",
+    version=read_version(),
+    description="Reproduction of 'Combining Structural and Timing Errors in "
+                "Overclocked Inexact Speculative Adders' (DATE 2017)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-explore=repro.explore.cli:main",
+        ],
+    },
+)

@@ -15,6 +15,9 @@ The package is organised bottom-up:
   distributions and input workloads.
 * :mod:`repro.runtime` — the characterization runtime: job batches
   scheduled on pluggable serial/multiprocess execution backends.
+* :mod:`repro.explore` — design-space exploration: enumerate the legal
+  ISA quadruple space, sweep it through the cached job pipeline and
+  Pareto-rank the outcome (the ``repro-explore`` CLI).
 * :mod:`repro.experiments` — drivers regenerating Figs. 7-10 of the
   paper.
 
@@ -33,6 +36,7 @@ from repro.core.config import ISAConfig
 from repro.core.exact import ExactAdder
 from repro.core.isa import InexactSpeculativeAdder
 from repro.experiments.common import StudyConfig
+from repro.explore import DesignSpace, SweepSpec, run_sweep
 from repro.ml.model import BitLevelTimingModel, TimingModelOptions
 from repro.runtime import CharacterizationJob, run_jobs
 from repro.synth.flow import SynthesisOptions, SynthesizedDesign, synthesize
@@ -55,5 +59,8 @@ __all__ = [
     "StudyConfig",
     "CharacterizationJob",
     "run_jobs",
+    "DesignSpace",
+    "SweepSpec",
+    "run_sweep",
     "uniform_workload",
 ]

@@ -2,12 +2,14 @@
 
 from repro.analysis.metrics import (
     ErrorStatistics,
+    StructuralCost,
     error_rate,
     error_statistics,
     mean_error_distance,
     mean_relative_error_distance,
     normalized_mean_error_distance,
     rms_relative_error,
+    structural_cost,
     worst_case_error,
 )
 from repro.analysis.distribution import BitErrorDistribution, bit_error_distribution
@@ -15,7 +17,9 @@ from repro.analysis.report import format_table, format_log_value
 
 __all__ = [
     "ErrorStatistics",
+    "StructuralCost",
     "error_statistics",
+    "structural_cost",
     "error_rate",
     "mean_error_distance",
     "mean_relative_error_distance",

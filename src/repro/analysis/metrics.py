@@ -110,6 +110,43 @@ class ErrorStatistics:
         return float(-20.0 * np.log10(self.rms_relative_error))
 
 
+@dataclass(frozen=True)
+class StructuralCost:
+    """Circuit-cost view of one synthesized design (the DSE cost axes).
+
+    ``gates`` counts cell instances; ``area_proxy`` is the sum of all
+    annotated instance delays in seconds — the library has no physical
+    cell areas, and summed nominal delay tracks transistor count across
+    the cell set well enough to rank designs (the same proxy
+    :meth:`~repro.circuit.sdf.DelayAnnotation.total_delay` reports).
+    """
+
+    gates: int
+    area_proxy: float
+    critical_path_delay: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (useful for tabulation and JSON export)."""
+        return {
+            "gates": self.gates,
+            "area_proxy": self.area_proxy,
+            "critical_path_ps": self.critical_path_delay * 1e12,
+        }
+
+
+def structural_cost(design) -> StructuralCost:
+    """Cost of a :class:`~repro.synth.flow.SynthesizedDesign`.
+
+    Duck-typed (netlist + annotation + critical path) so the analysis
+    layer stays import-independent of the synthesis flow.
+    """
+    return StructuralCost(
+        gates=int(design.netlist.num_gates),
+        area_proxy=float(design.annotation.total_delay()),
+        critical_path_delay=float(design.critical_path_delay),
+    )
+
+
 def error_statistics(exact: ArrayLike, approximate: ArrayLike, width: int = 32) -> ErrorStatistics:
     """Compute every metric at once over a batch of outputs."""
     exact_arr, approx_arr = _signed(exact), _signed(approximate)

@@ -98,6 +98,27 @@ class ISAConfig:
         return self.num_blocks == 1
 
     @property
+    def is_provably_exact(self) -> bool:
+        """True when the architecture can never produce a structural error.
+
+        The speculation window of block ``k`` reads the ``spec_size``
+        operand bits below its boundary, i.e. bits
+        ``[k*block_size - spec_size, k*block_size)``; the prediction is
+        guaranteed correct for *all* operand values only when every
+        window reaches down to the known carry-in at bit 0, which with
+        ``spec_size <= block_size`` restricts the guarantee to two-block
+        configurations with a full-block window (a carry-select-style
+        adder).  Every other multi-block configuration has inputs that
+        defeat it — whatever its *measured* error on a finite workload.
+        (The guarantee assumes the adder-level carry-in is tied to the
+        ``speculate_on_propagate`` constant — the characterization
+        pipeline ties it to 0, the paper's guess.)
+        """
+        return self.is_exact or (self.num_blocks <= 2
+                                 and self.spec_size == self.block_size
+                                 and self.speculate_on_propagate == 0)
+
+    @property
     def quadruple(self) -> Tuple[int, int, int, int]:
         """The paper's ``(block, spec, correction, reduction)`` notation."""
         return (self.block_size, self.spec_size, self.correction, self.reduction)

@@ -58,6 +58,11 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: :class:`StudyConfig` construction into the ``cache_dir`` field.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the result cache in mebibytes (empty or
+#: unset means unbounded); read once at :class:`StudyConfig`
+#: construction into the ``cache_limit_mb`` field.
+CACHE_LIMIT_ENV = "REPRO_CACHE_LIMIT_MB"
+
 
 def _env_trace_scale() -> float:
     value = os.environ.get(TRACE_SCALE_ENV, "")
@@ -89,6 +94,17 @@ def _env_workers() -> Optional[int]:
 
 def _env_cache_dir() -> Optional[str]:
     return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def _env_cache_limit() -> Optional[float]:
+    value = os.environ.get(CACHE_LIMIT_ENV, "")
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"{CACHE_LIMIT_ENV} must be a size in mebibytes, got {value!r}") from None
 
 
 #: Shared backend instances per (backend, workers) pair — keeps the
@@ -132,6 +148,7 @@ class StudyConfig:
     workers: Optional[int] = field(default_factory=_env_workers)
     trace_scale: float = field(default_factory=_env_trace_scale)
     cache_dir: Optional[str] = field(default_factory=_env_cache_dir)
+    cache_limit_mb: Optional[float] = field(default_factory=_env_cache_limit)
     clock_plan: ClockPlan = field(default_factory=ClockPlan.paper)
     synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
     model: TimingModelOptions = field(default_factory=TimingModelOptions)
@@ -151,6 +168,9 @@ class StudyConfig:
         if self.trace_scale <= 0:
             raise ConfigurationError(
                 f"trace_scale must be positive, got {self.trace_scale}")
+        if self.cache_limit_mb is not None and self.cache_limit_mb <= 0:
+            raise ConfigurationError(
+                f"cache_limit_mb must be positive, got {self.cache_limit_mb}")
         for name in ("characterization_length", "training_length", "evaluation_length"):
             if getattr(self, name) < 16:
                 raise ConfigurationError(f"{name} must be at least 16 vectors")
@@ -224,11 +244,12 @@ class StudyConfig:
                                                             workers=self.workers)
         if self.cache_dir is None:
             return backend
-        cache_key = key + (os.path.abspath(os.path.expanduser(self.cache_dir)),)
+        cache_key = key + (os.path.abspath(os.path.expanduser(self.cache_dir)),
+                           self.cache_limit_mb)
         caching = _CACHING_INSTANCES.get(cache_key)
         if caching is None or caching.inner is not backend:
-            caching = _CACHING_INSTANCES[cache_key] = CachingBackend(backend,
-                                                                     self.cache_dir)
+            caching = _CACHING_INSTANCES[cache_key] = CachingBackend(
+                backend, self.cache_dir, limit_mb=self.cache_limit_mb)
         return caching
 
 

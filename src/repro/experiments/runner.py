@@ -82,6 +82,11 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
     """Run the requested figures and return the combined text report."""
     sections: List[str] = []
     started = time.time()
+    backend_instance = config.runtime_backend()
+    # Shared caching backends accumulate counters across every study of
+    # the process; the footer reports the delta of *this* run only.
+    stats_baseline = (backend_instance.stats.snapshot()
+                      if isinstance(backend_instance, CachingBackend) else None)
 
     if "fig7" in figures or "fig8" in figures:
         study = run_prediction_study(config)
@@ -111,10 +116,10 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
         sections.append(run_fig10(config, characterization=fig10_characterization).format_table())
 
     elapsed = time.time() - started
-    backend_instance = config.runtime_backend()
     cache_note = ""
-    if isinstance(backend_instance, CachingBackend):
-        cache_note = (f", cache={backend_instance.stats.describe()} "
+    if stats_baseline is not None:
+        run_stats = backend_instance.stats.since(stats_baseline)
+        cache_note = (f", cache={run_stats.describe()} "
                       f"[{backend_instance.store.root}]")
     sections.append(f"(regenerated {', '.join(figures)} in {elapsed:.1f} s, "
                     f"simulator={config.simulator}, engine={config.engine}, "

@@ -1,0 +1,82 @@
+"""Design-space exploration: enumerate, sweep and Pareto-rank ISA spaces.
+
+The paper evaluates eleven hand-picked ISA quadruples against one exact
+baseline; this subsystem turns that selection into a search problem over
+the *whole* legal configuration space:
+
+* :mod:`repro.explore.space` — :class:`DesignSpace` enumerates every
+  quadruple an :class:`~repro.core.config.ISAConfig` of a width accepts,
+  under optional validity/cost constraints, with deterministic strided
+  subsampling down to a design budget.
+* :mod:`repro.explore.sweep` — :class:`SweepSpec` expands designs x
+  clock-period-reduction points x workload generators into one
+  :class:`~repro.runtime.CharacterizationJob` batch submitted through
+  the pluggable backends (and result cache) of :mod:`repro.runtime`,
+  then scores every point with joint error statistics and structural
+  cost.
+* :mod:`repro.explore.pareto` — aggregation of sweep points into
+  Pareto candidates, weak-dominance frontier extraction, ranking, and
+  nearest-paper-design annotation.
+* :mod:`repro.explore.cli` — the ``repro-explore`` console entry point.
+
+Quick start::
+
+    from repro.explore import DesignSpace, SweepSpec, run_sweep
+    from repro.explore import aggregate_points, pareto_frontier
+    from repro.workloads.generators import WorkloadSpec
+
+    space = DesignSpace(width=16)
+    spec = SweepSpec(entries=tuple(space.entries(max_designs=32)),
+                     workloads=(WorkloadSpec("uniform", 1024, width=16, seed=7),),
+                     width=16)
+    result = run_sweep(spec, backend="multiprocess", cache_dir="~/.cache/repro")
+    frontier = pareto_frontier(aggregate_points(result.points))
+"""
+
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    ParetoPoint,
+    aggregate_points,
+    dominates,
+    nearest_paper_design,
+    pareto_frontier,
+    quadruple_distance,
+    rank_frontier,
+)
+from repro.explore.space import (
+    DesignSpace,
+    enumerate_quadruples,
+    legal_block_sizes,
+    space_entries,
+)
+from repro.explore.sweep import (
+    SWEEP_CPR_LEVELS,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    score_characterization,
+    sweep_clock_plan,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "DesignSpace",
+    "ParetoPoint",
+    "SWEEP_CPR_LEVELS",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate_points",
+    "dominates",
+    "enumerate_quadruples",
+    "legal_block_sizes",
+    "nearest_paper_design",
+    "pareto_frontier",
+    "quadruple_distance",
+    "rank_frontier",
+    "run_sweep",
+    "score_characterization",
+    "space_entries",
+    "sweep_clock_plan",
+]

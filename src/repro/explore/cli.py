@@ -1,0 +1,235 @@
+"""``repro-explore``: design-space exploration from the command line.
+
+Enumerates the legal ISA quadruple space at the requested width
+(:mod:`repro.explore.space`), expands a sweep over clock-period
+reductions and workload generators into one characterization-job batch
+(:mod:`repro.explore.sweep`), runs it through the
+:mod:`repro.runtime` backend stack — so ``--backend multiprocess``
+parallelises the sweep and ``--cache-dir`` makes re-runs and grown
+sweeps warm — and prints the Pareto frontier of accuracy vs. gate count
+vs. clock period, ranked and annotated with the nearest hand-picked
+paper design (:mod:`repro.explore.pareto`).
+
+Example::
+
+    repro-explore --width 16 --max-designs 64 --backend multiprocess \
+        --jobs 4 --cache-dir ~/.cache/repro-explore
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.report import format_log_value, format_table
+from repro.experiments.common import StudyConfig
+from repro.explore.pareto import (
+    aggregate_points,
+    nearest_paper_design,
+    pareto_frontier,
+    rank_frontier,
+)
+from repro.explore.space import DesignSpace
+from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep, sweep_clock_plan
+from repro.runtime import BACKENDS, CachingBackend
+from repro.timing.fast_sim import ENGINES
+from repro.workloads.generators import GENERATORS, WorkloadSpec
+
+#: Workload generator kinds the sweep may draw stimulus from (the
+#: registry order of :data:`repro.workloads.generators.GENERATORS`).
+WORKLOAD_KINDS = tuple(GENERATORS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``repro-explore`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-explore",
+        description="Enumerate, sweep and Pareto-rank Inexact Speculative Adder "
+                    "configurations through the cached characterization pipeline")
+    parser.add_argument("--width", type=int, default=32,
+                        help="adder width whose quadruple space is explored (default 32)")
+    parser.add_argument("--max-designs", type=int, default=64, metavar="N",
+                        help="design budget: at most N quadruples, evenly strided over "
+                             "the sorted space; 0 sweeps the entire space (default 64)")
+    parser.add_argument("--block-sizes", type=int, nargs="+", default=None, metavar="B",
+                        help="restrict the space to these block sizes "
+                             "(default: every proper divisor of the width)")
+    parser.add_argument("--max-overhead-bits", type=int, default=None, metavar="K",
+                        help="cost constraint: only quadruples with "
+                             "spec+correction+reduction <= K")
+    parser.add_argument("--clock-sweep", type=float, nargs="+", metavar="CPR",
+                        default=[cpr * 100 for cpr in SWEEP_CPR_LEVELS],
+                        help="clock-period reductions to sweep, in percent of the "
+                             "0.3 ns safe period (default: 0 5 10 15)")
+    parser.add_argument("--workloads", nargs="+", choices=WORKLOAD_KINDS,
+                        default=["uniform"],
+                        help="workload generators characterised per design (default: uniform)")
+    parser.add_argument("--length", type=int, default=1024, metavar="VECTORS",
+                        help="operand vectors per workload trace, scaled by "
+                             "$REPRO_TRACE_SCALE (default 1024)")
+    parser.add_argument("--simulator", choices=("event", "fast"), default="fast",
+                        help="timing simulator tier (default fast; the event tier is the "
+                             "glitch-aware reference and orders of magnitude slower)")
+    parser.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="execution engine of the fast simulator (default auto)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend scheduling the sweep's jobs "
+                             "(default: $REPRO_BACKEND or serial)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes of the multiprocess backend "
+                             "(default: $REPRO_WORKERS or one per CPU)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="persistent result cache: a re-run (or a grown sweep) "
+                             "simulates only unseen jobs (default: $REPRO_CACHE_DIR, "
+                             "or no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even when $REPRO_CACHE_DIR is set")
+    parser.add_argument("--cache-limit-mb", type=float, default=None, metavar="MB",
+                        help="byte budget of the result cache; oldest entries are "
+                             "pruned after writes (default: $REPRO_CACHE_LIMIT_MB, "
+                             "or unbounded)")
+    parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print only the N best-ranked frontier rows (default: all)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="optional path for the text report (stdout is always printed)")
+    return parser
+
+
+def study_config(arguments) -> StudyConfig:
+    """The runtime study configuration implied by the CLI arguments."""
+    overrides = {"width": arguments.width, "simulator": arguments.simulator,
+                 "engine": arguments.engine, "seed": arguments.seed}
+    if arguments.backend is not None:
+        overrides["backend"] = arguments.backend
+    if arguments.jobs is not None:
+        overrides["workers"] = arguments.jobs
+    if arguments.no_cache:
+        overrides["cache_dir"] = None
+    elif arguments.cache_dir is not None:
+        overrides["cache_dir"] = arguments.cache_dir
+    if arguments.cache_limit_mb is not None:
+        overrides["cache_limit_mb"] = arguments.cache_limit_mb
+    return StudyConfig(**overrides)
+
+
+def design_space(arguments) -> DesignSpace:
+    """The quadruple space the CLI arguments select."""
+    return DesignSpace(
+        width=arguments.width,
+        block_sizes=tuple(arguments.block_sizes) if arguments.block_sizes else None,
+        max_overhead_bits=arguments.max_overhead_bits,
+    )
+
+
+def build_sweep(arguments, config: StudyConfig,
+                space: Optional[DesignSpace] = None) -> SweepSpec:
+    """Expand the CLI arguments into the sweep specification."""
+    space = space if space is not None else design_space(arguments)
+    max_designs = arguments.max_designs if arguments.max_designs > 0 else None
+    entries = space.entries(max_designs=max_designs)
+    length = config.scaled_length(arguments.length)
+    workloads = tuple(
+        WorkloadSpec(kind=kind, length=length, width=arguments.width,
+                     seed=arguments.seed + index)
+        for index, kind in enumerate(arguments.workloads))
+    plan = sweep_clock_plan(tuple(cpr / 100.0 for cpr in arguments.clock_sweep))
+    return SweepSpec(entries=tuple(entries), clock_plan=plan, workloads=workloads,
+                     simulator=arguments.simulator, engine=arguments.engine,
+                     synthesis=config.synthesis, width=arguments.width)
+
+
+def frontier_table(ranked, total_candidates: int, top: int = 0) -> str:
+    """The ranked-frontier report table."""
+    rows = []
+    shown = ranked if top <= 0 else ranked[:top]
+    for rank, point in enumerate(shown, start=1):
+        nearest, distance = nearest_paper_design(point.quadruple)
+        if point.is_exact:
+            nearest_label = "exact (baseline)"
+        elif distance == 0:
+            nearest_label = f"{nearest} (paper design)"
+        else:
+            nearest_label = f"{nearest} (d={distance:.1f})"
+        rows.append((
+            rank,
+            point.design,
+            f"{point.cpr * 100:g}%",
+            f"{point.clock_period * 1e12:.0f}",
+            format_log_value(point.rms_re * 100.0),
+            f"{point.error_rate:.4f}",
+            "yes" if point.provably_exact else "",
+            point.gates,
+            f"{point.area_proxy * 1e12:.0f}",
+            nearest_label,
+        ))
+    title = (f"Pareto frontier — {len(ranked)} of {total_candidates} "
+             "(design x CPR) points non-dominated in "
+             "(guarantee, joint RMS RE, gates, area, clock period)")
+    return format_table(
+        ["rank", "design", "CPR", "clock (ps)", "joint RMS RE (%)", "error rate",
+         "exact-by-design", "gates", "area (ps)", "nearest paper design"],
+        rows, title=title)
+
+
+def run_exploration(arguments) -> str:
+    """Run the full exploration and return the text report."""
+    started = time.time()
+    config = study_config(arguments)
+    space = design_space(arguments)
+    spec = build_sweep(arguments, config, space=space)
+
+    backend = config.runtime_backend()
+    stats_baseline = (backend.stats.snapshot()
+                      if isinstance(backend, CachingBackend) else None)
+    result = run_sweep(spec, backend=backend)
+
+    candidates = aggregate_points(result.points)
+    ranked = rank_frontier(pareto_frontier(candidates))
+
+    sections: List[str] = [
+        "ISA design-space exploration",
+        f"space     : {space.describe()}",
+        f"sweep     : {spec.describe()}",
+        f"workload  : {spec.workloads[0].length} vectors per trace, "
+        f"simulator={spec.simulator}, engine={spec.engine}",
+        "",
+        frontier_table(ranked, total_candidates=len(candidates), top=arguments.top),
+    ]
+
+    elapsed = time.time() - started
+    cache_note = ""
+    if stats_baseline is not None:
+        run_stats = backend.stats.since(stats_baseline)
+        simulated = run_stats.misses
+        cache_note = (f", cache={run_stats.describe()} [{backend.store.root}]"
+                      f", simulated {simulated} of {spec.job_count} jobs")
+    sections.append(
+        f"(explored {len(spec.entries)} designs / {spec.point_count} points in "
+        f"{elapsed:.1f} s, backend={backend.describe()}, seed={arguments.seed}"
+        f"{cache_note})")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.no_cache and arguments.cache_dir:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if arguments.width < 2:
+        parser.error("--width must be at least 2 (a 1-bit adder has no quadruple space)")
+    if arguments.length < 16:
+        parser.error("--length must be at least 16 vectors")
+    report = run_exploration(arguments)
+    print(report)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

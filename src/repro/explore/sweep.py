@@ -1,0 +1,244 @@
+"""Sweep expansion: designs x clock points x workloads -> one job batch.
+
+A :class:`SweepSpec` names everything a design-space sweep varies — the
+design entries (typically a :class:`~repro.explore.space.DesignSpace`
+selection plus the exact baseline), a clock plan whose CPR levels are the
+overclocking points, and one or more workload generators — and expands
+into a single batch of
+:class:`~repro.runtime.CharacterizationJob` submitted through
+:mod:`repro.runtime` in one call.  That single-batch shape is deliberate:
+the multiprocess backend schedules whole jobs across its pool only when
+the batch is at least one job per worker, and the
+:class:`~repro.runtime.CachingBackend` plans hits and misses over the
+entire sweep at once, so a resumed sweep re-simulates exactly the
+missing designs.
+
+Each finished job is scored into :class:`SweepPoint` records — one per
+(design x workload x CPR level) — carrying the joint error statistics of
+the overclocked output against the exact reference
+(:func:`~repro.analysis.metrics.error_statistics`), the split
+structural/timing RMS components, and the structural cost of the
+synthesized netlist (:func:`~repro.analysis.metrics.structural_cost`).
+The Pareto machinery in :mod:`repro.explore.pareto` consumes these
+points directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import (
+    ErrorStatistics,
+    StructuralCost,
+    error_statistics,
+    structural_cost,
+)
+from repro.core.combination import combine_errors
+from repro.exceptions import ConfigurationError
+from repro.experiments.designs import DesignEntry
+from repro.runtime import (
+    SIMULATORS,
+    Backend,
+    CharacterizationJob,
+    DesignCharacterization,
+    get_backend,
+)
+from repro.synth.flow import SynthesisOptions
+from repro.timing.clocking import ClockPlan
+from repro.timing.fast_sim import ENGINES
+from repro.workloads.generators import WorkloadSpec
+
+#: Default overclocking points of a sweep: the safe period (the frontier
+#: anchor where timing errors vanish) plus the paper's 5/10/15 % CPR.
+SWEEP_CPR_LEVELS = (0.0, 0.05, 0.10, 0.15)
+
+
+def sweep_clock_plan(cpr_levels: Sequence[float] = SWEEP_CPR_LEVELS) -> ClockPlan:
+    """The paper's safe period swept over explicit CPR levels."""
+    return ClockPlan(cpr_levels=tuple(cpr_levels))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One design-space sweep: entries x clock plan x workloads."""
+
+    entries: Tuple[DesignEntry, ...]
+    clock_plan: ClockPlan = field(default_factory=sweep_clock_plan)
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    simulator: str = "fast"
+    engine: str = "auto"
+    synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigurationError("a sweep needs at least one design entry")
+        if not self.workloads:
+            raise ConfigurationError("a sweep needs at least one workload spec")
+        if self.simulator not in SIMULATORS:
+            raise ConfigurationError(
+                f"simulator must be one of {SIMULATORS}, got {self.simulator!r}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
+        for workload in self.workloads:
+            if workload.width != self.width:
+                raise ConfigurationError(
+                    f"workload {workload.kind!r} is {workload.width}-bit but the "
+                    f"sweep is {self.width}-bit")
+        object.__setattr__(self, "entries", tuple(self.entries))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def job_count(self) -> int:
+        """Jobs the sweep expands into (designs x workloads)."""
+        return len(self.entries) * len(self.workloads)
+
+    @property
+    def point_count(self) -> int:
+        """Scored points the sweep yields (designs x workloads x CPR levels)."""
+        return self.job_count * len(self.clock_plan.cpr_levels)
+
+    def jobs(self) -> List[CharacterizationJob]:
+        """The sweep as one flat job batch, workload-major then entry order.
+
+        Traces are materialised once per workload and shared by every
+        design's job, so the batch carries ``len(workloads)`` operand
+        arrays no matter how many designs are swept (and every job of a
+        workload hits the same trace digest in the result cache).
+        """
+        jobs: List[CharacterizationJob] = []
+        for workload in self.workloads:
+            trace = workload.generate()
+            for entry in self.entries:
+                jobs.append(CharacterizationJob(
+                    entry=entry,
+                    trace=trace,
+                    clock_periods=tuple(self.clock_plan.periods),
+                    simulator=self.simulator,
+                    engine=self.engine,
+                    synthesis=self.synthesis,
+                    width=self.width,
+                ))
+        return jobs
+
+    def describe(self) -> str:
+        """One-line sweep summary for reports."""
+        kinds = ", ".join(workload.kind for workload in self.workloads)
+        return (f"{len(self.entries)} designs x {len(self.workloads)} workloads "
+                f"({kinds}) x {len(self.clock_plan.cpr_levels)} clock points "
+                f"= {self.job_count} jobs / {self.point_count} points")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Score of one (design x workload x CPR) point of a sweep.
+
+    ``stats`` are the *joint* error statistics — the overclocked inexact
+    output against the exact reference, the quantity an application
+    ultimately experiences; ``structural_rms`` / ``timing_rms`` split
+    that error into the paper's two sources.
+    """
+
+    design: str
+    quadruple: Optional[Tuple[int, int, int, int]]
+    workload: str
+    cpr: float
+    clock_period: float
+    stats: ErrorStatistics
+    structural_rms: float
+    timing_rms: float
+    cost: StructuralCost
+    provably_exact: bool = False
+
+    @property
+    def is_exact(self) -> bool:
+        """True for the exact-baseline design."""
+        return self.quadruple is None
+
+
+@dataclass
+class SweepResult:
+    """Every scored point of one executed sweep."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+
+    @property
+    def designs(self) -> List[str]:
+        """Design names in sweep order, each once."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.design not in seen:
+                seen.append(point.design)
+        return seen
+
+    def points_for(self, design: str) -> List[SweepPoint]:
+        """All points of one design, across workloads and CPR levels."""
+        return [point for point in self.points if point.design == design]
+
+
+def score_characterization(characterization: DesignCharacterization,
+                           clock_plan: ClockPlan, width: int,
+                           workload: str) -> List[SweepPoint]:
+    """Score one finished job into its per-CPR sweep points."""
+    entry = characterization.entry
+    quadruple = None if entry.is_exact else entry.config.quadruple
+    provably_exact = True if entry.is_exact else entry.config.is_provably_exact
+    cost = structural_cost(characterization.synthesized)
+    diamond = characterization.diamond_words[1:]
+    gold = characterization.gold_words[1:]
+    points: List[SweepPoint] = []
+    for cpr, period in clock_plan.items():
+        silver = characterization.timing_trace(period).sampled_words
+        errors = combine_errors(diamond, gold, silver)
+        rms = errors.rms_relative_errors()
+        points.append(SweepPoint(
+            design=characterization.name,
+            quadruple=quadruple,
+            workload=workload,
+            cpr=cpr,
+            clock_period=period,
+            stats=error_statistics(diamond, silver, width=width + 1),
+            structural_rms=rms["structural"],
+            timing_rms=rms["timing"],
+            cost=cost,
+            provably_exact=provably_exact,
+        ))
+    return points
+
+
+def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> SweepResult:
+    """Expand a sweep spec and run it through the job pipeline.
+
+    ``backend`` is a backend name or an owned :class:`Backend` instance
+    (a caller-supplied instance is left open, mirroring
+    :func:`~repro.runtime.run_jobs`); ``cache_dir`` fronts it with the
+    persistent result cache so re-running a sweep — or growing it with
+    more designs — only simulates the unseen jobs.
+    """
+    jobs = spec.jobs()
+    inner = get_backend(backend, workers=workers)
+    owns_inner = inner is not backend
+    resolved: Backend = inner
+    if cache_dir is not None:
+        from repro.runtime.cache import CachingBackend
+        resolved = CachingBackend(inner, cache_dir)
+    try:
+        characterizations = resolved.run(jobs)
+    finally:
+        if owns_inner:
+            inner.close()
+
+    points: List[SweepPoint] = []
+    index = 0
+    for workload in spec.workloads:
+        for _ in spec.entries:
+            points.extend(score_characterization(
+                characterizations[index], spec.clock_plan, spec.width,
+                workload=workload.kind))
+            index += 1
+    return SweepResult(spec=spec, points=points)

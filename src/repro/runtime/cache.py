@@ -21,6 +21,12 @@ adds a content-addressed store so that work survives across processes:
   so concurrent writers (e.g. multiprocess runs sharing one cache
   directory) can never expose a torn file.  Unreadable or truncated
   entries are discarded and recomputed, never raised.
+* :class:`ResultStore` optionally enforces a byte budget
+  (``limit_bytes`` / ``CachingBackend(limit_mb=...)``, or
+  ``REPRO_CACHE_LIMIT_MB`` through
+  :class:`~repro.experiments.common.StudyConfig`): after every batch
+  that wrote entries, whole entries are pruned oldest-first until the
+  store fits, so unbounded sweeps cannot fill the disk.
 * :class:`CachingBackend` decorates any execution backend: hits
   deserialise stored :class:`~repro.runtime.jobs.DesignCharacterization`
   results bit-identically, misses delegate to the inner backend in one
@@ -49,6 +55,7 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -167,13 +174,36 @@ def job_digest(job: CharacterizationJob) -> str:
 # --------------------------------------------------------------------- #
 @dataclass
 class CacheStats:
-    """Counters of one :class:`CachingBackend` (cumulative across runs)."""
+    """Counters of one :class:`CachingBackend` (cumulative across runs).
+
+    Shared backend instances accumulate over a whole process; callers
+    reporting a single run take a :meth:`snapshot` first and describe the
+    :meth:`since` delta (or call
+    :meth:`CachingBackend.reset_counters`), so one study's footer never
+    shows another study's hits.
+    """
 
     hits: int = 0
     misses: int = 0
     shard_hits: int = 0
     shard_misses: int = 0
     corrupt: int = 0
+    pruned: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counter values."""
+        return dataclasses.replace(self)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter deltas accumulated after ``baseline`` was snapshotted."""
+        return CacheStats(**{
+            counter.name: getattr(self, counter.name) - getattr(baseline, counter.name)
+            for counter in dataclasses.fields(self)})
+
+    def reset(self) -> None:
+        """Zero every counter in place (the object stays shared with its store)."""
+        for counter in dataclasses.fields(self):
+            setattr(self, counter.name, 0)
 
     def describe(self) -> str:
         """Footer-ready summary, e.g. ``"24 hits / 0 misses"``."""
@@ -182,6 +212,8 @@ class CacheStats:
             text += f" ({self.shard_hits} shards reused, {self.shard_misses} recomputed)"
         if self.corrupt:
             text += f", {self.corrupt} corrupt entries discarded"
+        if self.pruned:
+            text += f", {self.pruned} entries pruned to the size budget"
         return text
 
 
@@ -192,12 +224,25 @@ class ResultStore:
     (monolithic entries), or ``golden.pkl`` plus
     ``shard-<start>-<stop>.pkl`` files (sharded entries), plus a
     best-effort human-readable ``meta.json``.
+
+    ``limit_bytes`` puts the store on a byte budget: after a batch of
+    writes, :meth:`prune_to_limit` deletes whole entries
+    least-recently-used-first (:meth:`load` refreshes the mtime of what
+    it reads, so both writes and hits count as use) until the store
+    fits.  An unbounded design-space sweep can
+    therefore never fill the disk; the evicted work simply becomes a
+    recompute-miss on its next request.
     """
 
-    def __init__(self, root, stats: Optional[CacheStats] = None) -> None:
+    def __init__(self, root, stats: Optional[CacheStats] = None,
+                 limit_bytes: Optional[int] = None) -> None:
+        if limit_bytes is not None and limit_bytes < 1:
+            raise ConfigurationError(
+                f"cache limit_bytes must be positive, got {limit_bytes}")
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = stats if stats is not None else CacheStats()
+        self.limit_bytes = limit_bytes
 
     # ------------------------------------------------------------------ #
     def entry_dir(self, digest: str) -> Path:
@@ -226,6 +271,13 @@ class ResultStore:
                 wrapper = pickle.load(handle)
             if wrapper["format"] != CACHE_FORMAT:
                 raise ValueError(f"unknown cache format {wrapper['format']!r}")
+            try:
+                # Refresh the mtime so budget pruning evicts by *use*, not
+                # by write: an entry the current batch just hit must never
+                # be the "oldest" one the same batch's prune throws away.
+                os.utime(path)
+            except OSError:
+                pass
             return wrapper["payload"]
         except FileNotFoundError:
             return None
@@ -279,6 +331,63 @@ class ResultStore:
         except OSError:
             pass
 
+    # ------------------------------------------------------------------ #
+    def entry_inventory(self) -> List[Tuple[float, int, Path]]:
+        """Every entry directory as ``(newest_mtime, total_bytes, path)``.
+
+        Unreadable entries (e.g. deleted by a concurrent pruner) are
+        skipped — the inventory is advisory, never load-bearing.
+        """
+        inventory: List[Tuple[float, int, Path]] = []
+        try:
+            prefixes = [child for child in self.root.iterdir() if child.is_dir()]
+        except OSError:
+            return inventory
+        for prefix in prefixes:
+            try:
+                entries = [child for child in prefix.iterdir() if child.is_dir()]
+            except OSError:
+                continue
+            for entry in entries:
+                newest, total = 0.0, 0
+                try:
+                    for item in entry.iterdir():
+                        stat = item.stat()
+                        newest = max(newest, stat.st_mtime)
+                        total += stat.st_size
+                except OSError:
+                    continue
+                inventory.append((newest, total, entry))
+        return inventory
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by every entry of the store."""
+        return sum(size for _, size, _ in self.entry_inventory())
+
+    def prune_to_limit(self) -> int:
+        """Delete oldest entries until the store fits ``limit_bytes``.
+
+        Returns the number of entries removed (also accumulated into
+        ``stats.pruned``).  A ``None`` budget is a no-op.  Eviction is
+        whole-entry: a half-deleted sharded entry would silently degrade
+        into per-shard recomputation anyway, but removing the directory
+        atomically-ish keeps the accounting simple and the common case
+        (monolithic entries) clean.
+        """
+        if self.limit_bytes is None:
+            return 0
+        inventory = sorted(self.entry_inventory())
+        total = sum(size for _, size, _ in inventory)
+        removed = 0
+        for _, size, entry in inventory:
+            if total <= self.limit_bytes:
+                break
+            shutil.rmtree(entry, ignore_errors=True)
+            total -= size
+            removed += 1
+        self.stats.pruned += removed
+        return removed
+
 
 # --------------------------------------------------------------------- #
 # The caching decorator backend
@@ -312,18 +421,28 @@ class CachingBackend(Backend):
         timing shards instead of one monolithic pickle, enabling
         chunk-by-chunk resume of interrupted runs.  ``None`` disables
         sharding.
+    limit_mb:
+        Byte budget of the store in mebibytes (``None`` = unbounded).
+        After every batch that wrote new entries, oldest entries are
+        pruned until the store fits — see
+        :meth:`ResultStore.prune_to_limit`.
     """
 
     name = "cache"
 
     def __init__(self, inner, cache_dir,
-                 shard_transitions: Optional[int] = DEFAULT_SHARD_TRANSITIONS) -> None:
+                 shard_transitions: Optional[int] = DEFAULT_SHARD_TRANSITIONS,
+                 limit_mb: Optional[float] = None) -> None:
         if shard_transitions is not None and shard_transitions < 1:
             raise ConfigurationError(
                 f"shard_transitions must be at least 1, got {shard_transitions}")
+        if limit_mb is not None and limit_mb <= 0:
+            raise ConfigurationError(
+                f"cache limit_mb must be positive, got {limit_mb}")
         self.inner = get_backend(inner)
         self.stats = CacheStats()
-        self.store = ResultStore(cache_dir, stats=self.stats)
+        limit_bytes = None if limit_mb is None else max(int(limit_mb * 1024 * 1024), 1)
+        self.store = ResultStore(cache_dir, stats=self.stats, limit_bytes=limit_bytes)
         self.shard_transitions = shard_transitions
 
     def describe(self) -> str:
@@ -332,8 +451,17 @@ class CachingBackend(Backend):
     def close(self) -> None:
         self.inner.close()
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters so the next run reports only itself.
+
+        The stats object is shared with the store, so the reset is
+        in place rather than a reassignment.
+        """
+        self.stats.reset()
+
     # ------------------------------------------------------------------ #
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        misses_before = self.stats.misses
         plans = [self._plan(job) for job in jobs]
 
         # One delegated batch covering every miss — plain jobs and
@@ -348,7 +476,13 @@ class CachingBackend(Backend):
             for plan, computed in zip(owners, self.inner.run(pending)):
                 plan.computed.append(computed)
 
-        return [self._assemble(plan) for plan in plans]
+        results = [self._assemble(plan) for plan in plans]
+        if self.stats.misses > misses_before:
+            # Every write path counts a miss first, so this is exactly
+            # "the batch grew the store"; the budget is then enforced
+            # once per batch, not once per write.
+            self.store.prune_to_limit()
+        return results
 
     # ------------------------------------------------------------------ #
     def _sharded(self, job: CharacterizationJob) -> bool:

@@ -34,16 +34,9 @@ class WorkloadSpec:
 
     def generate(self) -> OperandTrace:
         """Materialise the trace described by this spec."""
-        generators: Dict[str, Callable[..., OperandTrace]] = {
-            "uniform": uniform_workload,
-            "correlated": correlated_workload,
-            "gaussian": gaussian_workload,
-            "sparse": sparse_workload,
-            "ramp": ramp_workload,
-        }
-        if self.kind not in generators:
-            raise WorkloadError(f"unknown workload kind {self.kind!r}; known: {sorted(generators)}")
-        return generators[self.kind](self.length, width=self.width, seed=self.seed,
+        if self.kind not in GENERATORS:
+            raise WorkloadError(f"unknown workload kind {self.kind!r}; known: {sorted(GENERATORS)}")
+        return GENERATORS[self.kind](self.length, width=self.width, seed=self.seed,
                                      **dict(self.parameters))
 
 
@@ -131,3 +124,15 @@ def ramp_workload(length: int, width: int = 32, seed: SeedLike = None,
     a = (indices * np.uint64(step)) % np.uint64(limit)
     b = (indices * np.uint64(step) * np.uint64(3) + np.uint64(12345)) % np.uint64(limit)
     return OperandTrace(a, b, width, name=f"ramp{width}x{length}")
+
+
+#: Registry of workload generators by kind — the single source of truth
+#: behind :meth:`WorkloadSpec.generate` and the ``repro-explore``
+#: ``--workloads`` choices.
+GENERATORS: Dict[str, Callable[..., OperandTrace]] = {
+    "uniform": uniform_workload,
+    "correlated": correlated_workload,
+    "gaussian": gaussian_workload,
+    "sparse": sparse_workload,
+    "ramp": ramp_workload,
+}
