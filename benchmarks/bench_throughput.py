@@ -64,6 +64,12 @@ SPEEDUP_TARGET = 10.0
 #: many CPUs as workers (the acceptance bar of the runtime PR).
 BACKEND_SPEEDUP_TARGET = 2.0
 
+#: Cold sweep-throughput gain the batched planner path must reach over
+#: per-job execution on the multi-design width-16 sweep (the acceptance
+#: bar of the planner PR); CI only asserts "no slower" (>= 1.0) to stay
+#: robust on noisy shared runners.
+BATCHED_SWEEP_TARGET = 2.0
+
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -311,6 +317,87 @@ def run_explore_comparison(width: int = 16, max_designs: int = 24,
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def run_batched_sweep_comparison(width: int = 16, max_designs: int = 16,
+                                 workloads: int = 8, length: int = 256,
+                                 repeats: int = 3) -> dict:
+    """Batched planner path vs per-job execution on a multi-design sweep.
+
+    Expands a width-``width`` design-space sweep (``max_designs``
+    quadruples plus the exact baseline x ``workloads`` workload traces x
+    the four default clock points) into one job batch and runs it twice:
+    once per-job on a bare serial backend (the reference path), once
+    through the execution planner (grouped by design + clock plan,
+    clock-specialised lowering, stacked multi-trace evaluation).  The
+    two result sets are asserted bit-identical; the record carries both
+    wall times and sweep throughputs in (design x workload x clock)
+    points per second.  CI asserts the batched path is no slower; the
+    committed artifact documents the actual speedup.
+    """
+    import numpy as np  # noqa: F811 - keep the section self-contained
+
+    from repro.explore import DesignSpace, SweepSpec, sweep_clock_plan
+    from repro.runtime import PlannedBackend, SerialBackend
+    from repro.workloads.generators import WorkloadSpec
+
+    entries = DesignSpace(width=width).entries(max_designs=max_designs)
+    spec = SweepSpec(
+        entries=tuple(entries),
+        clock_plan=sweep_clock_plan(),
+        workloads=tuple(WorkloadSpec("uniform", length, width=width, seed=3 + index)
+                        for index in range(workloads)),
+        simulator="fast",
+        width=width,
+    )
+    jobs = spec.jobs()
+
+    def per_job():
+        return SerialBackend().run(jobs)
+
+    def batched():
+        return PlannedBackend(SerialBackend()).run(jobs)
+
+    # Repeats interleave the two paths so slow host phases (shared
+    # runners, thermal drift) hit both sides equally instead of
+    # whichever happens to run second.
+    per_job_s = batched_s = float("inf")
+    reference = planned = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        reference = per_job()
+        per_job_s = min(per_job_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        planned = batched()
+        batched_s = min(batched_s, time.perf_counter() - started)
+    for want, got in zip(reference, planned):
+        assert np.array_equal(want.gold_words, got.gold_words), \
+            f"batched planner disagrees on {want.name} golden words"
+        assert np.array_equal(want.netlist_words, got.netlist_words), \
+            f"batched planner disagrees on {want.name} netlist words"
+        for clk, timing in want.timing_traces.items():
+            other = got.timing_traces[clk]
+            assert np.array_equal(timing.sampled_words, other.sampled_words), \
+                f"batched planner disagrees on {want.name} sampled words at {clk}"
+            assert np.array_equal(timing.settled_words, other.settled_words), \
+                f"batched planner disagrees on {want.name} settled words at {clk}"
+
+    speedup = per_job_s / batched_s if batched_s > 0 else float("inf")
+    return {
+        "width": width,
+        "designs": len(spec.entries),
+        "workloads": workloads,
+        "jobs": spec.job_count,
+        "points": spec.point_count,
+        "trace_cycles": length,
+        "per_job_s": per_job_s,
+        "batched_s": batched_s,
+        "per_job_points_per_s": spec.point_count / per_job_s,
+        "batched_points_per_s": spec.point_count / batched_s,
+        "speedup": speedup,
+        "speedup_target": BATCHED_SWEEP_TARGET,
+        "passed": speedup >= 1.0,
+    }
+
+
 def _best_of(callable_, repeats):
     best = float("inf")
     result = None
@@ -428,10 +515,17 @@ def main(argv=None) -> int:
         cycles=args.backend_cycles)
     explore = record["results"]["explore_sweep"] = run_explore_comparison(
         max_designs=args.explore_designs)
-    # The artifact's overall verdict covers both bars: the engine speedup
-    # and (when the host can judge it) the backend speedup.
+    # Best-of floor: the two paths alternate long wall-time sections, so
+    # a couple of extra repeats are what shields the recorded ratio from
+    # scheduler noise on shared hosts.
+    batched = record["results"]["batched_sweep"] = run_batched_sweep_comparison(
+        max_designs=args.explore_designs, repeats=max(args.repeats, 4))
+    # The artifact's overall verdict covers every bar: the engine
+    # speedup, (when the host can judge it) the backend speedup, and
+    # the batched planner being no slower than per-job execution.
     record["engine_passed"] = record.pop("passed")
-    record["passed"] = record["engine_passed"] and chars.get("passed", True)
+    record["passed"] = (record["engine_passed"] and chars.get("passed", True)
+                        and batched.get("passed", True))
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
     single = record["results"]["fast_sim_single_clock"]
@@ -465,6 +559,15 @@ def main(argv=None) -> int:
           f"({explore['points_per_s']:.0f} points/s)")
     print(f"  warm (from disk): {explore['warm_s'] * 1e3:8.1f} ms  "
           f"({explore['warm_speedup']:.1f}x, zero simulation)")
+    print(f"batched sweep, {batched['designs']} designs x {batched['workloads']} "
+          f"workloads x 4 clock points, {batched['trace_cycles']} cycles "
+          f"(width {batched['width']}):")
+    print(f"  per-job         : {batched['per_job_s'] * 1e3:8.1f} ms  "
+          f"({batched['per_job_points_per_s']:.0f} points/s)")
+    print(f"  batched planner : {batched['batched_s'] * 1e3:8.1f} ms  "
+          f"({batched['batched_points_per_s']:.0f} points/s)")
+    print(f"  speedup         : {batched['speedup']:8.2f}x  "
+          f"(target >= {batched['speedup_target']:g}x)")
     print(f"[written to {args.output}]")
     return 0 if (record["passed"] or args.smoke) else 1
 

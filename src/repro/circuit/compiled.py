@@ -117,14 +117,20 @@ def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
 def rows_to_words(rows: np.ndarray, length: int) -> np.ndarray:
     """Assemble packed per-bit rows (LSB first) into ``uint64`` words.
 
-    ``rows`` is a ``(bits, words)`` packed matrix; the result is a
-    ``(length,)`` array whose bit ``k`` comes from ``rows[k]``.
+    ``rows`` is a ``(bits, ..., words)`` packed array — bit positions
+    along the first axis, packed words along the last, any batch axes in
+    between.  The result has shape ``(..., length)``: bit ``k`` of every
+    word comes from ``rows[k]``.  The assembly is one broadcast
+    shift-and-reduce, not a per-position Python loop, so decoding a
+    stacked multi-trace batch costs one NumPy dispatch.
     """
-    bits = unpack_bits(rows, length)
-    words = np.zeros(length, dtype=np.uint64)
-    for position in range(rows.shape[0]):
-        words |= bits[position].astype(np.uint64) << np.uint64(position)
-    return words
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    if rows.shape[0] == 0:
+        return np.zeros(rows.shape[1:-1] + (int(length),), dtype=np.uint64)
+    bits = unpack_bits(rows, length).astype(np.uint64)
+    shifts = np.arange(rows.shape[0], dtype=np.uint64)
+    return np.bitwise_or.reduce(
+        bits << shifts.reshape((-1,) + (1,) * (bits.ndim - 1)), axis=0)
 
 
 def pack_word_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
@@ -199,14 +205,9 @@ class CompiledProgram:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run_packed(self, packed_inputs: Mapping[str, np.ndarray], words: int) -> np.ndarray:
-        """Execute the program on packed stimulus rows.
-
-        ``packed_inputs`` maps every primary input net to a ``(words,)``
-        ``uint64`` row.  Returns the full ``(num_nets, words)`` value
-        matrix (constants included).
-        """
-        values = np.empty((self.num_nets, words), dtype=np.uint64)
+    def _execute(self, values: np.ndarray,
+                 packed_inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Fill ``values`` from the stimulus and run every gate batch."""
         values[0] = 0
         values[1] = ~np.uint64(0)
         for net, row in packed_inputs.items():
@@ -215,6 +216,32 @@ class CompiledProgram:
             operands = [values[ids] for ids in batch.operand_ids]
             values[batch.out_ids] = batch.kernel(*operands)
         return values
+
+    def run_packed(self, packed_inputs: Mapping[str, np.ndarray], words: int) -> np.ndarray:
+        """Execute the program on packed stimulus rows.
+
+        ``packed_inputs`` maps every primary input net to a ``(words,)``
+        ``uint64`` row.  Returns the full ``(num_nets, words)`` value
+        matrix (constants included).
+        """
+        return self._execute(np.empty((self.num_nets, words), dtype=np.uint64),
+                             packed_inputs)
+
+    def run_packed_many(self, packed_inputs: Mapping[str, np.ndarray],
+                        traces: int, words: int) -> np.ndarray:
+        """Execute the program on a stacked batch of packed traces.
+
+        ``packed_inputs`` maps every primary input net to a
+        ``(traces, words)`` ``uint64`` matrix — one packed row per trace.
+        Returns the ``(num_nets, traces, words)`` value tensor.  Every
+        gate batch runs as **one** bitwise kernel call covering all
+        traces; because the packed words of different traces never mix,
+        slicing trace ``t`` out of the result is bit-identical to
+        :meth:`run_packed` on that trace alone.
+        """
+        return self._execute(
+            np.empty((self.num_nets, int(traces), int(words)), dtype=np.uint64),
+            packed_inputs)
 
     def evaluate_bits(self, bit_inputs: Mapping[str, np.ndarray], length: int) -> np.ndarray:
         """Pack per-net 0/1 stimulus of ``length`` cycles and execute."""
@@ -262,6 +289,28 @@ class CompiledProgram:
         words = packed_word_count(transitions)
         return full[:, :words], shifted[:, :words]
 
+    def evaluate_transitions_many(self, bit_inputs: Mapping[str, np.ndarray],
+                                  transitions: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked :meth:`evaluate_transitions` over a batch of traces.
+
+        ``bit_inputs`` holds a ``(traces, transitions + 1)`` 0/1 matrix
+        per net (rows shorter than the batch must be zero-padded by the
+        caller; the padded bits are evaluated but carry no meaning).
+        Returns ``(old, new)`` value tensors of shape
+        ``(num_nets, traces, packed_word_count(transitions))``.  The
+        funnel shift deriving the "new" matrix runs along the packed
+        word axis of each trace independently, so every trace slice is
+        bit-identical to a standalone :meth:`evaluate_transitions`.
+        """
+        words_full = packed_word_count(transitions + 1)
+        packed = {net: pack_bits(bits) for net, bits in bit_inputs.items()}
+        traces = next(iter(packed.values())).shape[0] if packed else 0
+        full = self.run_packed_many(packed, traces, words_full)
+        shifted = full >> np.uint64(1)
+        shifted[..., :-1] |= full[..., 1:] << np.uint64(63)
+        words = packed_word_count(transitions)
+        return full[..., :words], shifted[..., :words]
+
 
 @dataclass(frozen=True)
 class _ThresholdBatch:
@@ -298,6 +347,18 @@ class PackedTimingProgram:
     mask matrix for one packed chunk of transitions, and
     :meth:`late_rows` maps a clock period to the mask rows that answer
     ``arrival > clock`` for a list of nets.
+
+    Compilation is *cone-directed*: arrival-value candidate sets are
+    derived bottom-up for every net, but threshold rows are materialised
+    top-down from the query roots, so only masks that can influence a
+    lateness answer are ever built.  By default the roots are **every**
+    threshold of every sampleable net (primary outputs and bus members)
+    — the general program, able to answer any clock period.  Passing
+    ``clock_periods`` restricts the roots to the one lateness threshold
+    each clock samples per net; the resulting program is typically an
+    order of magnitude smaller (cheaper to compile *and* to run) and is
+    bit-identical to the general program on those clocks.  Querying a
+    clock outside the specialisation raises, it never answers wrongly.
     """
 
     #: Default ceiling on threshold rows per gate (beyond it, compilation
@@ -305,121 +366,130 @@ class PackedTimingProgram:
     DEFAULT_ROWS_PER_GATE = 48
 
     def __init__(self, program: CompiledProgram, annotation,
-                 row_limit: Optional[int] = None) -> None:
+                 row_limit: Optional[int] = None,
+                 clock_periods: Optional[Sequence[float]] = None) -> None:
         self.program = program
         netlist = program.netlist
         if row_limit is None:
             row_limit = (self.DEFAULT_ROWS_PER_GATE * max(netlist.num_gates, 1)
                          + len(netlist.inputs) + 64)
         net_id = program.net_id
+        self.clock_periods = (None if clock_periods is None else
+                              tuple(sorted({float(clk) for clk in clock_periods})))
 
-        # Per net: sorted ascending arrival-value candidates and the mask
-        # row answering "arrival >= value" for each.  Constants never move.
-        values_of: List[np.ndarray] = [np.empty(0)] * program.num_nets
-        rows_of: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * program.num_nets
+        def _overflow() -> CompilationError:
+            return CompilationError(
+                f"timing program for {netlist.name!r} exceeds {row_limit} "
+                f"threshold rows (irregular delays); use the dense reference engine")
 
-        next_row = 1  # row 0 is the all-zero mask
-        runtime_rows: List[int] = []     # rows filled from the changed matrix ...
-        runtime_nets: List[int] = []     # ... and the net each one mirrors
+        # ---------------------------------------------------------------- #
+        # Arrival-value candidate sets, bottom-up.  Every threshold is a
+        # float64 sum built with the same additions the dense simulator
+        # performs (Python floats *are* IEEE doubles), so the masks stay
+        # bit-exact with the reference arrival propagation.  The merge
+        # runs on plain float sets — for the small per-net sets of
+        # regular adders that is several times cheaper than per-gate
+        # ``np.unique`` dispatch — and converts to arrays once at the
+        # end, where ``searchsorted`` wants them.
+        # ---------------------------------------------------------------- #
+        value_sets: List[tuple] = [()] * program.num_nets
         for net in netlist.inputs:
-            nid = net_id[net]
-            values_of[nid] = np.array([0.0])
-            rows_of[nid] = np.array([next_row], dtype=np.int64)
-            runtime_rows.append(next_row)
-            runtime_nets.append(nid)
-            next_row += 1
-
-        # node id -> (level, fanin, changed row, source rows)
-        nodes: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
+            value_sets[net_id[net]] = (0.0,)
+        # out nid -> (delay, live input nids, level); only gates whose
+        # output can move (some input with a non-empty arrival set).
+        gate_of: Dict[int, Tuple[float, Tuple[int, ...], int]] = {}
         for gate in netlist.topological_order():
             out = net_id[gate.output]
             delay = annotation.delay_of(gate.name)
-            in_ids = [net_id[net] for net in gate.inputs]
-            lifted = [values_of[i] + delay for i in in_ids if values_of[i].size]
-            if not lifted:
+            live = tuple(i for i in (net_id[net] for net in gate.inputs)
+                         if value_sets[i])
+            if not live:
                 continue  # constant-driven: the output can never change
-            values = np.unique(np.concatenate(lifted))
-            rows = np.empty(values.shape[0], dtype=np.int64)
-            rows[0] = next_row  # == changed(gate): filled from the diff matrix
-            runtime_rows.append(next_row)
-            runtime_nets.append(out)
-            changed_row = next_row
-            next_row += 1
+            gate_of[out] = (delay, live, program.gate_level[gate.output])
+            if len(live) == 1:
+                # A sorted unique set shifted by a constant stays sorted
+                # and unique; no merge needed.
+                values = tuple(value + delay for value in value_sets[live[0]])
+            else:
+                merged = set()
+                for source in live:
+                    merged.update(value + delay for value in value_sets[source])
+                values = tuple(sorted(merged))
+            if len(values) > row_limit:
+                # A single net with more candidate thresholds than the
+                # whole row budget is the irregular-delay explosion the
+                # limit exists for; abort before the sets snowball.
+                raise _overflow()
+            value_sets[out] = values
+        empty = np.empty(0)
+        values_of: List[np.ndarray] = [
+            np.asarray(values, dtype=np.float64) if values else empty
+            for values in value_sets]
 
-            # lift indices per input for every non-minimal threshold
-            source_table = []
-            for i in in_ids:
-                if not values_of[i].size:
-                    continue
-                indices = np.searchsorted(values_of[i] + delay, values[1:], side="left")
-                source_table.append((rows_of[i], indices))
-            level = program.gate_level[gate.output]
-            dedup: Dict[Tuple[int, ...], int] = {}
-            for k in range(1, values.shape[0]):
-                sources = []
-                for input_rows, indices in source_table:
-                    idx = indices[k - 1]
-                    if idx < input_rows.shape[0]:
-                        sources.append(int(input_rows[idx]))
-                key = tuple(sorted(set(sources)))
-                if not key:  # unreachable threshold: mask is identically zero
-                    rows[k] = 0
-                    continue
-                existing = dedup.get(key)
-                if existing is not None:
-                    rows[k] = existing
-                    continue
-                rows[k] = dedup[key] = next_row
-                nodes[next_row] = (level, len(key), changed_row, key)
-                next_row += 1
-                if next_row > row_limit:
-                    raise CompilationError(
-                        f"timing program for {netlist.name!r} exceeds "
-                        f"{row_limit} threshold rows (irregular delays); "
-                        f"use the dense reference engine")
-            values_of[out] = values
-            rows_of[out] = rows
-
-        # Backward-reachability pruning: only rows that can answer a
-        # lateness query on a sampleable net (any bus or primary output),
-        # directly or through a lift chain, are worth propagating.
-        sampleable = set(netlist.outputs)
-        for bus_nets in netlist.buses.values():
-            sampleable.update(bus_nets)
-        alive = {0}
-        stack: List[int] = []
-        for net in sampleable:
-            nid = net_id.get(net)
-            if nid is not None:
-                stack.extend(int(row) for row in rows_of[nid])
-        while stack:
-            row = stack.pop()
-            if row in alive:
+        # ---------------------------------------------------------------- #
+        # Query roots: the (net, threshold) pairs a run may sample.
+        # ---------------------------------------------------------------- #
+        roots: List[Tuple[int, int]] = []
+        seen_nets: set = set()
+        sample_order = list(netlist.outputs) + [
+            net for nets in netlist.buses.values() for net in nets]
+        for net in sample_order:
+            if net in seen_nets:
                 continue
-            alive.add(row)
-            node = nodes.get(row)
-            if node is not None:
-                stack.append(node[2])  # the gate's own changed mask
-                stack.extend(node[3])
-        runtime_alive = [(row, nid) for row, nid in zip(runtime_rows, runtime_nets)
-                         if row in alive]
+            seen_nets.add(net)
+            nid = net_id.get(net)
+            if nid is None:
+                continue
+            size = values_of[nid].shape[0]
+            if not size:
+                continue
+            if self.clock_periods is None:
+                roots.extend((nid, k) for k in range(size))
+            else:
+                indices = {int(np.searchsorted(values_of[nid], clk, side="right"))
+                           for clk in self.clock_periods}
+                roots.extend((nid, k) for k in sorted(indices) if k < size)
 
+        # ---------------------------------------------------------------- #
+        # Threshold-row discovery.  Both strategies materialise a runtime
+        # (changed) row per live net and one threshold node per distinct
+        # source set of a gate (per-gate dedup), and both keep only rows
+        # reachable from the roots — they differ in how they get there:
+        #
+        # * the **general** program (``clock_periods is None``) builds
+        #   every threshold bottom-up with one vectorised lift per
+        #   (gate, input) and prunes unreachable rows afterwards — every
+        #   root references nearly every row, so a top-down walk would
+        #   only add per-row Python overhead;
+        # * a **clock-specialised** program walks top-down from the few
+        #   sampled thresholds, so rows outside their backward cone
+        #   (typically the vast majority) are never created at all.
+        # ---------------------------------------------------------------- #
+        if self.clock_periods is None:
+            discovery = self._discover_full(gate_of, values_of, roots,
+                                            row_limit, _overflow)
+        else:
+            discovery = self._discover_cone(gate_of, values_of, roots,
+                                            row_limit, _overflow)
+        pair_row, nodes, runtime_order, runtime_nets, next_row = discovery
+
+        # ---------------------------------------------------------------- #
         # Renumber: row 0, then the runtime block, then batch-contiguous
         # threshold rows ordered by (level, fanin) so every batch writes
         # one slice of the mask matrix.
+        # ---------------------------------------------------------------- #
         remap = np.full(next_row, -1, dtype=np.int64)
         remap[0] = 0
         cursor = 1
-        for row, _ in runtime_alive:
+        for row in runtime_order:
             remap[row] = cursor
             cursor += 1
-        self.runtime_nets = np.array([nid for _, nid in runtime_alive], dtype=np.int64)
+        self.runtime_nets = np.array(runtime_nets, dtype=np.int64)
         self.runtime_stop = cursor
 
         grouped: Dict[Tuple[int, int], List[int]] = {}
         for row, (level, fanin, _, _) in nodes.items():
-            if row in alive:
-                grouped.setdefault((level, fanin), []).append(row)
+            grouped.setdefault((level, fanin), []).append(row)
         self.batches: List[_ThresholdBatch] = []
         for (level, fanin), members in sorted(grouped.items()):
             start = cursor
@@ -440,12 +510,167 @@ class PackedTimingProgram:
 
         self.num_rows = cursor
         self.values_of = values_of
-        self.rows_of = [remap[rows] for rows in rows_of]
+        rows_of: List[np.ndarray] = [
+            np.full(values.shape[0], -1, dtype=np.int64) for values in values_of]
+        for (nid, k), row in pair_row.items():
+            rows_of[nid][k] = remap[row]
+        self.rows_of = rows_of
         self._dependencies = {
             int(remap[row]): (int(remap[node[2]]),
                               tuple(int(remap[source]) for source in node[3]))
-            for row, node in nodes.items() if row in alive}
+            for row, node in nodes.items()}
         self._plan_cache: Dict[frozenset, _TimingPlan] = {}
+
+    # ------------------------------------------------------------------ #
+    # Discovery strategies (see the constructor comment for the split)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _discover_full(gate_of, values_of, roots, row_limit, overflow):
+        """Build every threshold bottom-up, then prune to the roots' cone.
+
+        Net IDs are assigned in topological order, so iterating nets by
+        ID guarantees every gate sees its sources' rows already built.
+        Returns ``(pair_row, nodes, runtime_order, runtime_nets,
+        next_row)`` with ``nodes`` and the runtime lists already reduced
+        to reachable rows (``pair_row`` may still name pruned rows; the
+        renumbering maps those to -1).
+        """
+        pair_row: Dict[Tuple[int, int], int] = {}
+        nodes: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
+        runtime_order: List[int] = []
+        runtime_nets: List[int] = []
+        next_row = 1  # row 0 is the all-zero mask
+        for nid, values in enumerate(values_of):
+            if not values.shape[0]:
+                continue
+            changed_row = pair_row[(nid, 0)] = next_row
+            runtime_order.append(next_row)
+            runtime_nets.append(nid)
+            next_row += 1
+            if nid not in gate_of:
+                continue  # primary input: the changed row is its only threshold
+            delay, live, level = gate_of[nid]
+            source_table = [
+                (source, np.searchsorted(values_of[source] + delay, values[1:],
+                                         side="left"))
+                for source in live]
+            dedup: Dict[Tuple[int, ...], int] = {}
+            for k in range(1, values.shape[0]):
+                sources = set()
+                for source, indices in source_table:
+                    index = indices[k - 1]
+                    if index < values_of[source].shape[0]:
+                        row = pair_row[(source, index)]
+                        if row:
+                            sources.add(row)
+                key = tuple(sorted(sources))
+                if not key:  # unreachable threshold: mask is identically zero
+                    pair_row[(nid, k)] = 0
+                    continue
+                existing = dedup.get(key)
+                if existing is not None:
+                    pair_row[(nid, k)] = existing
+                    continue
+                row = dedup[key] = pair_row[(nid, k)] = next_row
+                nodes[row] = (level, len(key), changed_row, key)
+                next_row += 1
+                if next_row > row_limit:
+                    raise overflow()
+
+        # Backward-reachability pruning: only rows that can answer a
+        # lateness query on a root, directly or through a lift chain,
+        # are worth propagating.
+        alive = {0}
+        stack = [pair_row[pair] for pair in roots]
+        while stack:
+            row = stack.pop()
+            if row in alive:
+                continue
+            alive.add(row)
+            node = nodes.get(row)
+            if node is not None:
+                stack.append(node[2])  # the gate's own changed mask
+                stack.extend(node[3])
+        kept = [(row, nid) for row, nid in zip(runtime_order, runtime_nets)
+                if row in alive]
+        runtime_order = [row for row, _ in kept]
+        runtime_nets = [nid for _, nid in kept]
+        nodes = {row: node for row, node in nodes.items() if row in alive}
+        return pair_row, nodes, runtime_order, runtime_nets, next_row
+
+    @staticmethod
+    def _discover_cone(gate_of, values_of, roots, row_limit, overflow):
+        """Walk top-down from the roots, creating only reachable rows.
+
+        The inverse strategy of :meth:`_discover_full`: nothing outside
+        the roots' backward cone is ever materialised, which is what
+        makes clock-specialised compilation an order of magnitude
+        cheaper than the general program on multi-clock sweeps.
+        """
+        pair_row: Dict[Tuple[int, int], int] = {}
+        dedup: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        nodes: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
+        runtime_order: List[int] = []
+        runtime_nets: List[int] = []
+        lift_cache: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        next_row = 1  # row 0 is the all-zero mask
+
+        def lift_table(nid: int) -> List[Tuple[int, np.ndarray]]:
+            # Per visited gate, one vectorised searchsorted per input:
+            # ``(source nid, lift index of every non-minimal threshold)``.
+            table = lift_cache.get(nid)
+            if table is None:
+                delay, live, _ = gate_of[nid]
+                non_minimal = values_of[nid][1:]
+                table = lift_cache[nid] = [
+                    (source, np.searchsorted(values_of[source] + delay,
+                                             non_minimal, side="left"))
+                    for source in live]
+            return table
+
+        stack: List[Tuple[int, int, bool]] = [(nid, k, False)
+                                              for nid, k in reversed(roots)]
+        while stack:
+            nid, k, expanded = stack.pop()
+            if (nid, k) in pair_row:
+                continue
+            if k == 0:
+                # The minimal threshold of a net is its changed mask,
+                # filled straight from the settled-value diff at runtime.
+                pair_row[(nid, 0)] = next_row
+                runtime_order.append(next_row)
+                runtime_nets.append(nid)
+                next_row += 1
+                if next_row > row_limit:
+                    raise overflow()
+                continue
+            children: List[Tuple[int, int]] = [(nid, 0)]
+            for source, indices in lift_table(nid):
+                index = int(indices[k - 1])
+                if index < values_of[source].shape[0]:
+                    children.append((source, index))
+            if not expanded:
+                stack.append((nid, k, True))
+                stack.extend((child_nid, child_k, False)
+                             for child_nid, child_k in children)
+                continue
+            sources = tuple(sorted({pair_row[child] for child in children[1:]}
+                                   - {0}))
+            if not sources:  # unreachable threshold: mask is identically zero
+                pair_row[(nid, k)] = 0
+                continue
+            key = (nid, sources)
+            existing = dedup.get(key)
+            if existing is not None:
+                pair_row[(nid, k)] = existing
+                continue
+            row = dedup[key] = pair_row[(nid, k)] = next_row
+            nodes[row] = (gate_of[nid][2], len(sources), pair_row[(nid, 0)],
+                          sources)
+            next_row += 1
+            if next_row > row_limit:
+                raise overflow()
+        return pair_row, nodes, runtime_order, runtime_nets, next_row
 
     # ------------------------------------------------------------------ #
     def plan_for(self, root_rows: Sequence[int]) -> "_TimingPlan":
@@ -500,12 +725,13 @@ class PackedTimingProgram:
         """Propagate threshold masks for one packed chunk.
 
         ``changed`` is the ``(num_nets, words)`` packed old-vs-new diff of
-        settled values.  Returns the ``(num_rows, words)`` mask matrix;
-        with a ``plan`` only the rows in the plan's cone hold defined
-        values (exactly the ones its roots sample).
+        settled values — or a stacked ``(num_nets, traces, words)`` batch
+        (see :meth:`run_many`).  Returns the ``(num_rows, ...)`` mask
+        matrix with the same trailing shape; with a ``plan`` only the
+        rows in the plan's cone hold defined values (exactly the ones
+        its roots sample).
         """
-        words = changed.shape[1]
-        masks = np.empty((self.num_rows, words), dtype=np.uint64)
+        masks = np.empty((self.num_rows,) + changed.shape[1:], dtype=np.uint64)
         masks[0] = 0
         if plan is None:
             masks[1:self.runtime_stop] = changed[self.runtime_nets]
@@ -526,12 +752,30 @@ class PackedTimingProgram:
                 masks[batch.out_rows] = block
         return masks
 
+    def run_many(self, changed: np.ndarray,
+                 plan: Optional["_TimingPlan"] = None) -> np.ndarray:
+        """Batched :meth:`run` over a stacked multi-trace diff tensor.
+
+        ``changed`` has shape ``(num_nets, traces, words)``; the result
+        has shape ``(num_rows, traces, words)``.  Every threshold batch
+        propagates with **one** bitwise operation covering all traces,
+        and because packed words of different traces never mix, slicing
+        trace ``t`` out of the result is bit-identical to a standalone
+        :meth:`run` on that trace's diff matrix.
+        """
+        if changed.ndim != 3:
+            raise SimulationError(
+                f"run_many expects a (num_nets, traces, words) tensor, "
+                f"got shape {changed.shape}")
+        return self.run(changed, plan=plan)
+
     def late_rows(self, nets: Sequence[str], clock_period: float) -> np.ndarray:
         """Mask row answering ``arrival > clock_period`` for each net.
 
         Nets that can never be late at this clock map to row 0 (all-zero).
         Only sampleable nets (primary outputs and bus members) survive
-        compilation; querying any other net raises.
+        compilation; querying any other net — or a clock period a
+        clock-specialised program was not compiled for — raises.
         """
         rows = np.zeros(len(nets), dtype=np.int64)
         for k, net in enumerate(nets):
@@ -541,6 +785,11 @@ class PackedTimingProgram:
             if idx < values.shape[0]:
                 row = int(self.rows_of[nid][idx])
                 if row < 0:
+                    if self.clock_periods is not None:
+                        raise SimulationError(
+                            f"net {net!r} has no threshold row for clock period "
+                            f"{clock_period!r}: the timing program was specialised "
+                            f"to clock periods {self.clock_periods}")
                     raise SimulationError(
                         f"net {net!r} was pruned from the timing program and "
                         "cannot be sampled")

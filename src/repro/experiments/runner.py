@@ -38,6 +38,7 @@ from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
 from repro.runtime import BACKENDS, CachingBackend
 from repro.timing.fast_sim import ENGINES
+from repro.utils.phases import collect_phases
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the result cache even when $REPRO_CACHE_DIR "
                              "is set")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument("--timings", action="store_true",
+                        help="append a phase breakdown (synthesize / lower / pack / "
+                             "simulate / score) to the footer; phases are measured "
+                             "in the driving process, so multiprocess worker time "
+                             "appears only as elapsed wall time")
     parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
                         choices=["fig7", "fig8", "fig9", "fig10"],
                         help="which figures to regenerate")
@@ -150,7 +156,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # --scale composes with $REPRO_TRACE_SCALE through the explicit
         # trace_scale field, so the applied scaling shows in the report.
         config = replace(config, trace_scale=config.trace_scale * arguments.scale)
-    report = run_all(config, arguments.figures)
+    if arguments.timings:
+        with collect_phases() as phases:
+            report = run_all(config, arguments.figures)
+        report += f"\n(timings: {phases.describe()})"
+    else:
+        report = run_all(config, arguments.figures)
     print(report)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

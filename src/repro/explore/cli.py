@@ -35,6 +35,7 @@ from repro.explore.space import DesignSpace
 from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep, sweep_clock_plan
 from repro.runtime import BACKENDS, CachingBackend
 from repro.timing.fast_sim import ENGINES
+from repro.utils.phases import collect_phases
 from repro.workloads.generators import GENERATORS, WorkloadSpec
 
 #: Workload generator kinds the sweep may draw stimulus from (the
@@ -91,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "pruned after writes (default: $REPRO_CACHE_LIMIT_MB, "
                              "or unbounded)")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument("--timings", action="store_true",
+                        help="append a phase breakdown (synthesize / lower / pack / "
+                             "simulate / score) to the footer; phases are measured "
+                             "in the driving process, so multiprocess worker time "
+                             "appears only as elapsed wall time")
     parser.add_argument("--top", type=int, default=0, metavar="N",
                         help="print only the N best-ranked frontier rows (default: all)")
     parser.add_argument("--output", type=str, default=None,
@@ -223,7 +229,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--width must be at least 2 (a 1-bit adder has no quadruple space)")
     if arguments.length < 16:
         parser.error("--length must be at least 16 vectors")
-    report = run_exploration(arguments)
+    if arguments.timings:
+        with collect_phases() as phases:
+            report = run_exploration(arguments)
+        report += f"\n(timings: {phases.describe()})"
+    else:
+        report = run_exploration(arguments)
     print(report)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

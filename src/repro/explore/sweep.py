@@ -39,14 +39,14 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.designs import DesignEntry
 from repro.runtime import (
     SIMULATORS,
-    Backend,
     CharacterizationJob,
     DesignCharacterization,
-    get_backend,
+    run_jobs,
 )
 from repro.synth.flow import SynthesisOptions
 from repro.timing.clocking import ClockPlan
 from repro.timing.fast_sim import ENGINES
+from repro.utils.phases import phase
 from repro.workloads.generators import WorkloadSpec
 
 #: Default overclocking points of a sweep: the safe period (the frontier
@@ -184,6 +184,13 @@ def score_characterization(characterization: DesignCharacterization,
                            clock_plan: ClockPlan, width: int,
                            workload: str) -> List[SweepPoint]:
     """Score one finished job into its per-CPR sweep points."""
+    with phase("score"):
+        return _score_characterization(characterization, clock_plan, width, workload)
+
+
+def _score_characterization(characterization: DesignCharacterization,
+                            clock_plan: ClockPlan, width: int,
+                            workload: str) -> List[SweepPoint]:
     entry = characterization.entry
     quadruple = None if entry.is_exact else entry.config.quadruple
     provably_exact = True if entry.is_exact else entry.config.is_provably_exact
@@ -211,7 +218,7 @@ def score_characterization(characterization: DesignCharacterization,
 
 
 def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> SweepResult:
+              cache_dir: Optional[str] = None, plan: bool = True) -> SweepResult:
     """Expand a sweep spec and run it through the job pipeline.
 
     ``backend`` is a backend name or an owned :class:`Backend` instance
@@ -219,19 +226,18 @@ def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
     :func:`~repro.runtime.run_jobs`); ``cache_dir`` fronts it with the
     persistent result cache so re-running a sweep — or growing it with
     more designs — only simulates the unseen jobs.
+
+    ``plan`` (default on) schedules the batch through the execution
+    planner: the sweep's (design x clock plan) groups each run as one
+    multi-trace batched evaluation, bit-identical to per-job execution.
+    The planner is inserted *under* a cache built here from
+    ``cache_dir``; a caller-supplied backend that is already a
+    caching/planned stack is used as given.  The stacking (and the
+    ownership of backends constructed from names) is exactly
+    :func:`~repro.runtime.run_jobs`.
     """
-    jobs = spec.jobs()
-    inner = get_backend(backend, workers=workers)
-    owns_inner = inner is not backend
-    resolved: Backend = inner
-    if cache_dir is not None:
-        from repro.runtime.cache import CachingBackend
-        resolved = CachingBackend(inner, cache_dir)
-    try:
-        characterizations = resolved.run(jobs)
-    finally:
-        if owns_inner:
-            inner.close()
+    characterizations = run_jobs(spec.jobs(), backend=backend, workers=workers,
+                                 cache_dir=cache_dir, plan=plan)
 
     points: List[SweepPoint] = []
     index = 0

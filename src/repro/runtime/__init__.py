@@ -35,8 +35,12 @@ Quick start::
 from repro.runtime.backends import (
     BACKENDS,
     Backend,
+    GoldenTask,
     MultiprocessBackend,
     SerialBackend,
+    Task,
+    TimingChunkTask,
+    execute_tasks,
     get_backend,
     run_jobs,
 )
@@ -57,6 +61,7 @@ from repro.runtime.jobs import (
     synthesize_entry,
     synthesize_job,
 )
+from repro.runtime.plan import PlannedBackend, execute_group
 
 __all__ = [
     "BACKENDS",
@@ -66,11 +71,17 @@ __all__ = [
     "CachingBackend",
     "CharacterizationJob",
     "DesignCharacterization",
+    "GoldenTask",
     "MultiprocessBackend",
+    "PlannedBackend",
     "ResultStore",
     "SerialBackend",
+    "Task",
+    "TimingChunkTask",
     "build_simulator",
+    "execute_group",
     "execute_job",
+    "execute_tasks",
     "get_backend",
     "job_digest",
     "merge_timing_chunks",

@@ -28,7 +28,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.compiled import WORD_BITS, transition_chunks
 from repro.exceptions import ConfigurationError
@@ -47,14 +48,90 @@ from repro.runtime.jobs import (
 BACKENDS = ("serial", "multiprocess")
 
 
+# --------------------------------------------------------------------- #
+# Sub-job tasks: the finer scheduling granularity below a whole job
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GoldenTask:
+    """Sub-job unit: the golden half of one job, no timing simulation.
+
+    Executing it yields the 5-tuple ``(synthesized, diamond_words,
+    gold_words, structural_stats, netlist_words)`` over the job's full
+    trace — exactly what :func:`~repro.runtime.jobs.golden_reference`
+    returns, prefixed with the synthesized design.
+    """
+
+    job: CharacterizationJob
+
+
+@dataclass(frozen=True)
+class TimingChunkTask:
+    """Sub-job unit: timing simulation of one (typically sliced) trace.
+
+    The job's trace *is* the chunk — callers slice before building the
+    task.  Executing it yields the ``{clock_period: TimingErrorTrace}``
+    dict of :func:`~repro.runtime.jobs.run_timing`; no golden words are
+    derived, which is the point: a caller that only needs timing shards
+    (the result cache's cold sharded path) no longer pays for
+    chunk-local golden references it would discard.
+    """
+
+    job: CharacterizationJob
+
+
+#: A schedulable sub-job unit.
+Task = Union[GoldenTask, TimingChunkTask]
+
+
+def execute_tasks(tasks: Sequence[Task],
+                  designs: Optional[Dict[tuple, object]] = None,
+                  simulators: Optional[Dict[tuple, object]] = None) -> List[object]:
+    """Execute sub-job tasks in the calling process, in order.
+
+    ``designs`` / ``simulators`` are per-``cache_key`` reuse maps (the
+    same sharing the serial backend applies to whole jobs); passing
+    dicts in lets a caller keep them warm across batches.
+    """
+    designs = designs if designs is not None else {}
+    simulators = simulators if simulators is not None else {}
+    results: List[object] = []
+    for task in tasks:
+        job = task.job
+        key = job.cache_key()
+        synthesized = designs.get(key)
+        if synthesized is None:
+            synthesized = designs[key] = synthesize_job(job)
+        if isinstance(task, GoldenTask):
+            results.append((synthesized,) + golden_reference(job, synthesized))
+            continue
+        simulator = simulators.get(key)
+        if simulator is None:
+            simulator = simulators[key] = build_simulator(job.simulator, synthesized,
+                                                          engine=job.engine)
+        results.append(run_timing(job, simulator))
+    return results
+
+
 class Backend:
-    """Interface of an execution backend: run a batch of jobs in order."""
+    """Interface of an execution backend: run a batch of jobs in order.
+
+    Besides whole jobs, every backend also schedules *sub-job tasks*
+    (:class:`GoldenTask` / :class:`TimingChunkTask`) through
+    :meth:`run_tasks` — the granularity the result cache's sharded path
+    and the execution planner use.  The base implementation executes
+    tasks serially in the calling process; concrete backends override it
+    with their own scheduling.
+    """
 
     name = "abstract"
 
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         """Execute ``jobs`` and return their results in submission order."""
         raise NotImplementedError
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[object]:
+        """Execute sub-job tasks and return their results in order."""
+        return execute_tasks(tasks)
 
     def describe(self) -> str:
         """Short human-readable backend description (recorded in reports)."""
@@ -203,6 +280,31 @@ class MultiprocessBackend(Backend):
         per_worker = -(-transitions // self.workers)
         return max(WORD_BITS, -(-per_worker // WORD_BITS) * WORD_BITS)
 
+    def submit(self, function: Callable, *args):
+        """Submit one callable to the worker pool (a raw future).
+
+        The extension point the execution planner uses to schedule its
+        batched group tasks on this backend's pool alongside ordinary
+        jobs; callers own the future and must handle
+        :class:`~concurrent.futures.process.BrokenProcessPool` like
+        :meth:`run` does (close the backend, then re-raise).
+        """
+        return self._executor().submit(function, *args)
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[object]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = self._executor()
+        try:
+            futures = [pool.submit(_golden_task if isinstance(task, GoldenTask)
+                                   else _timing_chunk_task, task.job)
+                       for task in tasks]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            self.close()
+            raise
+
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         jobs = list(jobs)
         if not jobs:
@@ -288,12 +390,21 @@ def get_backend(backend, workers: Optional[int] = None) -> Backend:
 
 def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
              workers: Optional[int] = None,
-             cache_dir: Optional[str] = None) -> List[DesignCharacterization]:
+             cache_dir: Optional[str] = None,
+             plan: bool = True) -> List[DesignCharacterization]:
     """Run a batch of characterization jobs on the requested backend.
 
     ``cache_dir`` fronts the backend with the persistent on-disk result
     cache of :mod:`repro.runtime.cache`: hits skip execution entirely,
     misses run on the backend and are persisted for the next call.
+
+    ``plan`` (default on) routes the batch through the execution planner
+    of :mod:`repro.runtime.plan`: jobs sharing a design and clock plan
+    are grouped and simulated as one multi-trace batch, bit-identically
+    to per-job execution.  The planner slots *under* the cache, so cache
+    entries stay per-job and warm batches still execute zero jobs; pass
+    ``plan=False`` to schedule every job individually (the reference
+    path the planner is benchmarked against).
 
     This is the one-shot convenience entry point: a backend constructed
     here from a *name* (and its worker pool, if any) is closed before
@@ -304,9 +415,15 @@ def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
     inner = get_backend(backend, workers=workers)
     owns_inner = inner is not backend  # constructed here, not caller-supplied
     resolved = inner
+    # A caller-supplied caching or planned stack is used as given —
+    # wrapping it in another planner would route grouped jobs around
+    # the caller's cache (or double-plan).
+    from repro.runtime.cache import CachingBackend  # deferred: cache builds on backends
+    from repro.runtime.plan import PlannedBackend  # deferred: plan builds on backends
+    if plan and not isinstance(inner, (PlannedBackend, CachingBackend)):
+        resolved = PlannedBackend(resolved)
     if cache_dir is not None:
-        from repro.runtime.cache import CachingBackend  # deferred: cache builds on backends
-        resolved = CachingBackend(inner, cache_dir)
+        resolved = CachingBackend(resolved, cache_dir)
     try:
         return resolved.run(jobs)
     finally:

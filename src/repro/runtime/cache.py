@@ -36,16 +36,15 @@ adds a content-addressed store so that work survives across processes:
   full-trace result, and a partially-populated entry (an interrupted
   run) resumes chunk by chunk — only the missing shards are simulated.
 
-Two cost deviations on the *cold sharded* path, both bounded by one
-golden-pass-equivalent per job and both absent from warm runs and from
-ordinary (unsharded) misses: the full-trace golden references are
-computed in the calling process (the backend interface only executes
-whole jobs), and the delegated timing chunks — being whole jobs — each
-re-derive chunk-local golden words that assembly discards.  A golden
-pass is one packed netlist evaluation plus vectorised behavioural
-adds, cheap next to the multi-clock timing shards it accompanies;
-scheduling golden/timing sub-jobs through the backend interface
-directly is noted on the ROADMAP.
+The cold sharded path schedules at *sub-job* granularity: one
+:class:`~repro.runtime.backends.GoldenTask` for the missing golden
+references plus one :class:`~repro.runtime.backends.TimingChunkTask`
+per missing shard, delegated to the inner backend as one golden batch
+(persisted immediately, so interrupted runs resume with it) followed by
+one timing batch.  Timing chunks therefore never re-derive chunk-local
+golden words only to discard them, the golden pass parallelises (and
+batches) like any other task, and the execution planner can stack the
+chunks of one sharded job into a single multi-trace evaluation.
 """
 
 from __future__ import annotations
@@ -67,13 +66,17 @@ from repro._version import __version__
 from repro.circuit.compiled import transition_chunks
 from repro.circuit.library import TechnologyLibrary
 from repro.exceptions import ConfigurationError
-from repro.runtime.backends import Backend, get_backend
+from repro.runtime.backends import (
+    Backend,
+    GoldenTask,
+    Task,
+    TimingChunkTask,
+    get_backend,
+)
 from repro.runtime.jobs import (
     CharacterizationJob,
     DesignCharacterization,
-    golden_reference,
     merge_timing_chunks,
-    synthesize_job,
 )
 
 #: Bumped whenever the stored payload layout changes; old entries are
@@ -232,6 +235,16 @@ class ResultStore:
     fits.  An unbounded design-space sweep can
     therefore never fill the disk; the evicted work simply becomes a
     recompute-miss on its next request.
+
+    The inventory behind the budget is an in-memory ``(newest mtime,
+    total bytes)`` index per entry, built by one full scan on first use
+    and updated incrementally by this store's own writes, reads and
+    prunes.  Work by *other* processes is detected through the mtimes of
+    the 256 prefix directories (entry creation and deletion touch them),
+    so a refresh costs O(prefixes) stats instead of O(entries x files);
+    a concurrent writer mutating files *inside* an existing entry goes
+    unseen until that entry is touched locally — acceptable, because the
+    inventory is advisory (budget enforcement), never load-bearing.
     """
 
     def __init__(self, root, stats: Optional[CacheStats] = None,
@@ -243,6 +256,12 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = stats if stats is not None else CacheStats()
         self.limit_bytes = limit_bytes
+        #: prefix dir -> {entry dir -> [newest mtime, total bytes]};
+        #: None until first use.  Bucketing by prefix keeps a prefix
+        #: rescan proportional to that prefix's entries, not the store.
+        self._index: Optional[Dict[Path, Dict[Path, List]]] = None
+        #: prefix dir -> st_mtime_ns at the last (re)scan.
+        self._prefix_signatures: Dict[Path, int] = {}
 
     # ------------------------------------------------------------------ #
     def entry_dir(self, digest: str) -> Path:
@@ -278,6 +297,7 @@ class ResultStore:
                 os.utime(path)
             except OSError:
                 pass
+            self._note_use(path)
             return wrapper["payload"]
         except FileNotFoundError:
             return None
@@ -295,9 +315,11 @@ class ResultStore:
         and the last rename wins (all writers produce identical bytes
         for identical keys, so the winner does not matter).
         """
+        observation = self._observe_before_write(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
                                              suffix=".pkl")
+        replaced = self._size_of(path)
         try:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump({"format": CACHE_FORMAT, "payload": payload}, stream,
@@ -309,12 +331,14 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._note_write(path, replaced, observation)
 
     def write_meta(self, digest: str, meta: dict) -> None:
         """Best-effort ``meta.json`` describing the entry for humans."""
         path = self.entry_dir(digest) / "meta.json"
         if path.exists():
             return
+        observation = self._observe_before_write(path)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
@@ -323,42 +347,163 @@ class ResultStore:
                 json.dump(meta, stream, indent=2, sort_keys=True)
             os.replace(temp_name, path)
         except OSError:  # pragma: no cover - diagnostics only
-            pass
+            return
+        self._note_write(path, 0, observation)
 
     def _discard(self, path: Path) -> None:
         try:
             os.unlink(path)
         except OSError:
-            pass
+            return
+        if self._index is not None:
+            # Corruption implies an outside actor already touched the
+            # entry, so the cheap size delta cannot be trusted — rescan
+            # this one entry (corruption is rare; the scan is per-file
+            # stats of a single directory).
+            entry = path.parent
+            bucket = self._index.setdefault(entry.parent, {})
+            record = self._scan_entry(entry)
+            if record is not None:
+                bucket[entry] = record
+            else:
+                bucket.pop(entry, None)
 
     # ------------------------------------------------------------------ #
-    def entry_inventory(self) -> List[Tuple[float, int, Path]]:
-        """Every entry directory as ``(newest_mtime, total_bytes, path)``.
+    # Inventory index
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _size_of(path: Path) -> int:
+        try:
+            return os.stat(path).st_size
+        except OSError:
+            return 0
 
-        Unreadable entries (e.g. deleted by a concurrent pruner) are
-        skipped — the inventory is advisory, never load-bearing.
-        """
-        inventory: List[Tuple[float, int, Path]] = []
+    def _observe_before_write(self, path: Path) -> Optional[Tuple[bool, Optional[int]]]:
+        """Snapshot taken before a write: is the entry dir new, and what
+        was the prefix's mtime at that moment?  ``None`` before first use."""
+        if self._index is None:
+            return None
+        entry = path.parent
+        if entry.is_dir():
+            return (False, None)
+        try:
+            return (True, entry.parent.stat().st_mtime_ns)
+        except OSError:
+            return (True, None)
+
+    def _note_write(self, path: Path, replaced_bytes: int,
+                    observation: Optional[Tuple[bool, Optional[int]]]) -> None:
+        """Fold one written file into the index (no-op before first use)."""
+        if self._index is None or observation is None:
+            return
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return
+        entry = path.parent
+        bucket = self._index.setdefault(entry.parent, {})
+        record = bucket.get(entry)
+        if record is None:
+            bucket[entry] = [stat.st_mtime, stat.st_size]
+        else:
+            record[0] = max(record[0], stat.st_mtime)
+            record[1] = max(record[1] + stat.st_size - replaced_bytes, 0)
+        created_entry, prefix_sig_before = observation
+        if created_entry:
+            # Our mkdir changed the prefix mtime.  Re-record it only if
+            # nothing else had changed it since our last scan — else a
+            # concurrent writer's entries would be masked behind our own
+            # signature; leaving it stale forces a rescan that sees both.
+            prefix = entry.parent
+            if prefix_sig_before is not None and \
+                    self._prefix_signatures.get(prefix) == prefix_sig_before:
+                try:
+                    self._prefix_signatures[prefix] = prefix.stat().st_mtime_ns
+                except OSError:
+                    self._prefix_signatures.pop(prefix, None)
+
+    def _note_use(self, path: Path) -> None:
+        """Track a refreshed mtime so pruning sees the entry as recent."""
+        if self._index is None:
+            return
+        record = self._index.get(path.parent.parent, {}).get(path.parent)
+        if record is not None:
+            try:
+                record[0] = max(record[0], os.stat(path).st_mtime)
+            except OSError:
+                pass
+
+    def _scan_entry(self, entry: Path) -> Optional[List]:
+        newest, total = 0.0, 0
+        try:
+            for item in entry.iterdir():
+                stat = item.stat()
+                newest = max(newest, stat.st_mtime)
+                total += stat.st_size
+        except OSError:
+            return None
+        return [newest, total]
+
+    def _rescan_prefix(self, prefix: Path) -> None:
+        assert self._index is not None
+        try:
+            signature = prefix.stat().st_mtime_ns
+        except OSError:
+            signature = None
+        bucket: Dict[Path, List] = {}
+        try:
+            children = [child for child in prefix.iterdir() if child.is_dir()]
+        except OSError:
+            children = []
+        for entry in children:
+            record = self._scan_entry(entry)
+            if record is not None:
+                bucket[entry] = record
+        self._index[prefix] = bucket
+        if signature is not None:
+            self._prefix_signatures[prefix] = signature
+        else:
+            self._prefix_signatures.pop(prefix, None)
+
+    def _refresh_index(self) -> None:
+        """Build the index on first use; afterwards rescan only prefixes
+        whose mtime changed (external entry creation or deletion)."""
         try:
             prefixes = [child for child in self.root.iterdir() if child.is_dir()]
         except OSError:
-            return inventory
+            prefixes = []
+        if self._index is None:
+            self._index = {}
+            self._prefix_signatures = {}
+            for prefix in prefixes:
+                self._rescan_prefix(prefix)
+            return
+        current = set(prefixes)
         for prefix in prefixes:
             try:
-                entries = [child for child in prefix.iterdir() if child.is_dir()]
+                signature = prefix.stat().st_mtime_ns
             except OSError:
                 continue
-            for entry in entries:
-                newest, total = 0.0, 0
-                try:
-                    for item in entry.iterdir():
-                        stat = item.stat()
-                        newest = max(newest, stat.st_mtime)
-                        total += stat.st_size
-                except OSError:
-                    continue
-                inventory.append((newest, total, entry))
-        return inventory
+            if self._prefix_signatures.get(prefix) != signature:
+                self._rescan_prefix(prefix)
+        for prefix in list(self._index):
+            if prefix not in current:
+                self._index.pop(prefix, None)
+                self._prefix_signatures.pop(prefix, None)
+
+    def entry_inventory(self) -> List[Tuple[float, int, Path]]:
+        """Every entry directory as ``(newest_mtime, total_bytes, path)``.
+
+        Served from the incrementally maintained index — one full scan
+        on first use, O(prefix-dir stats) afterwards.  Entries deleted
+        by a concurrent pruner may linger until their prefix is
+        rescanned — the inventory is advisory, never load-bearing.
+        """
+        self._refresh_index()
+        assert self._index is not None
+        return [(record[0], record[1], entry)
+                for bucket in self._index.values()
+                for entry, record in bucket.items()]
 
     def total_bytes(self) -> int:
         """Bytes currently held by every entry of the store."""
@@ -383,6 +528,11 @@ class ResultStore:
             if total <= self.limit_bytes:
                 break
             shutil.rmtree(entry, ignore_errors=True)
+            if self._index is not None:
+                self._index.get(entry.parent, {}).pop(entry, None)
+            # The rmtree changed the prefix mtime; the recorded signature
+            # is deliberately left stale so the next refresh rescans the
+            # prefix — that also surfaces any concurrent writer's entries.
             total -= size
             removed += 1
         self.stats.pruned += removed
@@ -394,7 +544,15 @@ class ResultStore:
 # --------------------------------------------------------------------- #
 @dataclass
 class _JobPlan:
-    """What one job of a batch needs: nothing (hit), or delegated work."""
+    """What one job of a batch needs: nothing (hit), or delegated work.
+
+    Plain (unsharded) misses delegate the whole job (``pending`` /
+    ``computed``); sharded misses delegate sub-job tasks (``pending_tasks``
+    / ``task_results``) — a golden task when ``golden`` is absent, plus
+    one timing task per missing shard.  Golden tasks are batched and
+    persisted *before* the timing batch runs, so a run interrupted
+    mid-simulation resumes with its golden pass already on disk.
+    """
 
     job: CharacterizationJob
     digest: str
@@ -405,6 +563,8 @@ class _JobPlan:
     missing: List[Tuple[int, int]] = field(default_factory=list)
     pending: List[CharacterizationJob] = field(default_factory=list)
     computed: List[DesignCharacterization] = field(default_factory=list)
+    pending_tasks: List[Task] = field(default_factory=list)
+    task_results: List[object] = field(default_factory=list)
 
 
 class CachingBackend(Backend):
@@ -464,17 +624,41 @@ class CachingBackend(Backend):
         misses_before = self.stats.misses
         plans = [self._plan(job) for job in jobs]
 
-        # One delegated batch covering every miss — plain jobs and
-        # missing shards alike — so the inner backend schedules at its
-        # full batch granularity.  A fully warm batch delegates nothing.
+        # One delegated batch per granularity covering every miss —
+        # whole jobs for plain misses, sub-job tasks for sharded ones —
+        # so the inner backend schedules at its full batch width.  A
+        # fully warm batch delegates nothing.
         pending: List[CharacterizationJob] = []
         owners: List[_JobPlan] = []
+        golden_tasks: List[Task] = []
+        golden_owners: List[_JobPlan] = []
+        timing_tasks: List[Task] = []
+        timing_owners: List[_JobPlan] = []
         for plan in plans:
             pending.extend(plan.pending)
             owners.extend([plan] * len(plan.pending))
+            for task in plan.pending_tasks:
+                if isinstance(task, GoldenTask):
+                    golden_tasks.append(task)
+                    golden_owners.append(plan)
+                else:
+                    timing_tasks.append(task)
+                    timing_owners.append(plan)
+        if golden_tasks:
+            # Golden passes run and persist first — before any other
+            # simulation of the batch — so an interrupted run resumes
+            # with them on disk (the PR 3 sharded-resume guarantee).
+            for plan, outcome in zip(golden_owners,
+                                     self.inner.run_tasks(golden_tasks)):
+                plan.golden = outcome
+                self.store.store(self.store.golden_path(plan.digest), outcome)
         if pending:
             for plan, computed in zip(owners, self.inner.run(pending)):
                 plan.computed.append(computed)
+        if timing_tasks:
+            for plan, outcome in zip(timing_owners,
+                                     self.inner.run_tasks(timing_tasks)):
+                plan.task_results.append(outcome)
 
         results = [self._assemble(plan) for plan in plans]
         if self.stats.misses > misses_before:
@@ -523,20 +707,18 @@ class CachingBackend(Backend):
         self.stats.misses += 1
         if plan.golden is None:
             # The golden pass (synthesis cross-check + behavioural
-            # references) runs in-process: the backend interface only
-            # executes whole jobs, and this pass is cheap next to the
-            # multi-clock timing shards it accompanies.
-            synthesized = synthesize_job(job)
-            plan.golden = (synthesized,) + golden_reference(job, synthesized)
-            self.store.store(self.store.golden_path(digest), plan.golden)
+            # references) is one sub-job task on the inner backend, so
+            # it schedules — and, under the planner, batches — exactly
+            # like the timing shards it accompanies.
+            plan.pending_tasks.append(GoldenTask(job))
         for start, stop in plan.missing:
             # A chunk over transitions [start, stop) simulates vectors
             # [start, stop] — one vector of overlap, exactly as the
-            # multiprocess backend splits.  The chunk job never collects
-            # structural stats; the golden pass covers the full trace.
-            plan.pending.append(dataclasses.replace(
+            # multiprocess backend splits.  Timing tasks derive no golden
+            # words at all; the golden task covers the full trace.
+            plan.pending_tasks.append(TimingChunkTask(dataclasses.replace(
                 job, trace=job.trace.slice(start, stop + 1),
-                collect_structural_stats=False))
+                collect_structural_stats=False)))
 
     def _assemble(self, plan: _JobPlan) -> DesignCharacterization:
         if plan.result is not None:
@@ -547,8 +729,7 @@ class CachingBackend(Backend):
                              dataclasses.replace(result, trace=None))
             self._write_meta(plan, sharded=False)
             return result
-        for span, chunk in zip(plan.missing, plan.computed):
-            payload = chunk.timing_traces
+        for span, payload in zip(plan.missing, plan.task_results):
             self.store.store(self.store.shard_path(plan.digest, *span), payload)
             plan.shard_payloads[span] = payload
         self._write_meta(plan, sharded=True)

@@ -33,6 +33,7 @@ from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_ne
 from repro.timing.errors import TimingErrorTrace
 from repro.timing.event_sim import EventDrivenSimulator
 from repro.timing.fast_sim import ENGINES, FastTimingSimulator
+from repro.utils.phases import phase
 from repro.workloads.traces import OperandTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> runtime)
@@ -142,9 +143,11 @@ class DesignCharacterization:
 def synthesize_entry(entry: "DesignEntry", width: int,
                      options: SynthesisOptions) -> SynthesizedDesign:
     """Synthesize one design entry (ISA or exact adder) with the flow options."""
-    if entry.is_exact:
-        return synthesize(exact_adder_netlist(width, options.adder_architecture), options)
-    return synthesize(entry.config, options)
+    with phase("synthesize"):
+        if entry.is_exact:
+            return synthesize(exact_adder_netlist(width, options.adder_architecture),
+                              options)
+        return synthesize(entry.config, options)
 
 
 def synthesize_job(job: CharacterizationJob) -> SynthesizedDesign:
@@ -159,10 +162,12 @@ def build_simulator(kind: str, synthesized: SynthesizedDesign, engine: str = "au
     event-driven simulator is its own (glitch-aware) reference tier and
     ignores it.
     """
-    if kind == "event":
-        return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
-    if kind == "fast":
-        return FastTimingSimulator(synthesized.netlist, synthesized.annotation, engine=engine)
+    with phase("lower"):
+        if kind == "event":
+            return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
+        if kind == "fast":
+            return FastTimingSimulator(synthesized.netlist, synthesized.annotation,
+                                       engine=engine)
     raise ConfigurationError(f"unknown simulator kind {kind!r}")
 
 
@@ -174,22 +179,23 @@ def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
     netlist disagrees with the behavioural golden model.
     """
     trace = job.trace
-    diamond = ExactAdder(job.width).add_many(trace.a, trace.b)
+    with phase("simulate"):
+        diamond = ExactAdder(job.width).add_many(trace.a, trace.b)
 
-    structural_stats = None
-    if job.entry.is_exact:
-        gold = diamond.copy()
-    else:
-        model = InexactSpeculativeAdder(job.entry.config)
-        if job.collect_structural_stats:
-            gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
+        structural_stats = None
+        if job.entry.is_exact:
+            gold = diamond.copy()
         else:
-            gold = model.add_many(trace.a, trace.b)
+            model = InexactSpeculativeAdder(job.entry.config)
+            if job.collect_structural_stats:
+                gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
+            else:
+                gold = model.add_many(trace.a, trace.b)
 
-    # Gate-level settled outputs from the compiled packed engine: the
-    # netlist's own golden reference, checked against the behavioural one.
-    netlist_words = synthesized.netlist.compute_words(trace.as_operands(),
-                                                      output_bus=job.output_bus)
+        # Gate-level settled outputs from the compiled packed engine: the
+        # netlist's own golden reference, checked against the behavioural one.
+        netlist_words = synthesized.netlist.compute_words(trace.as_operands(),
+                                                          output_bus=job.output_bus)
     if not np.array_equal(netlist_words, gold):
         raise ConfigurationError(
             f"synthesized netlist of {job.name} disagrees with its behavioural "
@@ -199,8 +205,9 @@ def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
 
 def run_timing(job: CharacterizationJob, simulator) -> Dict[float, TimingErrorTrace]:
     """Run the job's timing simulation over its (possibly sliced) trace."""
-    return simulator.run_trace_multi(job.trace.as_operands(), job.clock_periods,
-                                     output_bus=job.output_bus)
+    with phase("simulate"):
+        return simulator.run_trace_multi(job.trace.as_operands(), job.clock_periods,
+                                         output_bus=job.output_bus)
 
 
 def merge_timing_chunks(chunks) -> Dict[float, TimingErrorTrace]:

@@ -40,6 +40,7 @@ annotation compile, and silently falls back to ``"reference"`` otherwise.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -49,7 +50,12 @@ from repro.circuit.netlist import CONST0, CONST1, Netlist
 from repro.circuit.sdf import DelayAnnotation
 from repro.exceptions import CompilationError, SimulationError
 from repro.timing.errors import TimingErrorTrace
-from repro.timing.operands import expand_operand_traces, trace_length
+from repro.timing.operands import (
+    expand_operand_traces,
+    expand_operand_traces_interned,
+    trace_length,
+)
+from repro.utils.phases import phase
 
 #: Arrival-time value used for nets that do not switch in a cycle.
 STABLE = -np.inf
@@ -62,11 +68,38 @@ ENGINES = ("auto", "compiled", "reference")
 _PACKED_CHUNK_BYTES = 8 << 20
 
 
+@dataclass
+class BatchedTraceRun:
+    """Result of one multi-trace batched simulation.
+
+    ``timing`` holds one ``{clock_period: TimingErrorTrace}`` dict per
+    submitted trace, in submission order — exactly what the per-trace
+    :meth:`FastTimingSimulator.run_trace_multi` would have returned.
+    ``settled_values`` (present when requested) holds per trace the
+    settled output-bus word of **every** input vector — bit-identical to
+    :meth:`~repro.circuit.netlist.Netlist.compute_words` on that trace,
+    derived from the same packed evaluation that fed the timing run, so
+    golden cross-checks need no second logic pass.
+    """
+
+    timing: List[Dict[float, TimingErrorTrace]]
+    settled_values: Optional[List[np.ndarray]] = None
+
+
 class FastTimingSimulator:
-    """Levelised, vectorised timing simulator for a delay-annotated netlist."""
+    """Levelised, vectorised timing simulator for a delay-annotated netlist.
+
+    ``clock_periods`` optionally specialises the compiled timing program
+    to a fixed clock plan: only the arrival-threshold cone those clocks
+    sample is compiled (typically an order of magnitude smaller), and
+    simulating any *other* clock period raises instead of answering.
+    The execution planner builds one specialised simulator per
+    (design, clock plan) group; general-purpose callers leave it unset.
+    """
 
     def __init__(self, netlist: Netlist, annotation: DelayAnnotation,
-                 engine: str = "auto") -> None:
+                 engine: str = "auto",
+                 clock_periods: Optional[Sequence[float]] = None) -> None:
         if engine not in ENGINES:
             raise SimulationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         annotation.validate_against(netlist)
@@ -80,7 +113,8 @@ class FastTimingSimulator:
             program = netlist.compiled()
             if program is not None:
                 try:
-                    self._timing_program = PackedTimingProgram(program, annotation)
+                    self._timing_program = PackedTimingProgram(
+                        program, annotation, clock_periods=clock_periods)
                 except CompilationError:
                     self._timing_program = None
             if self._timing_program is None and engine == "compiled":
@@ -186,6 +220,58 @@ class FastTimingSimulator:
         return self._run_trace_multi_dense(input_trace, total, clock_periods,
                                            output_nets, chunk_size)
 
+    def run_traces_multi(self, operand_traces: Sequence[Mapping[str, np.ndarray]],
+                         clock_periods: Sequence[float], output_bus: str = "S",
+                         include_settled_values: bool = False,
+                         chunk_size: int = 4096) -> BatchedTraceRun:
+        """Simulate several operand traces in one batched pass.
+
+        On the compiled engine the traces are stacked into a
+        ``(traces, words)`` packed tensor and every gate batch, threshold
+        batch and output decode runs as **one** NumPy dispatch covering
+        the whole stack; traces may have ragged lengths (shorter traces
+        are zero-padded to the stack and their padding discarded).  The
+        per-trace results are bit-identical to calling
+        :meth:`run_trace_multi` on each trace alone — packed words of
+        different traces never mix.  On the dense reference engine the
+        traces run one after the other (same results, no batching).
+
+        ``include_settled_values`` additionally returns, per trace, the
+        settled output word of every input vector — the gate-level
+        golden reference — derived from the same evaluation.
+        """
+        for clk in clock_periods:
+            if clk <= 0:
+                raise SimulationError(f"clock period must be positive, got {clk}")
+        output_nets = self._output_nets(output_bus)
+        operand_traces = list(operand_traces)
+        if not operand_traces:
+            return BatchedTraceRun(
+                timing=[], settled_values=[] if include_settled_values else None)
+        with phase("pack"):
+            input_traces = [expand_operand_traces_interned(self.netlist, operands)
+                            for operands in operand_traces]
+        totals = [trace_length(bits) for bits in input_traces]
+        for total in totals:
+            if total < 2:
+                raise SimulationError("a timing trace needs at least two input vectors")
+        if not clock_periods and not include_settled_values:
+            return BatchedTraceRun(timing=[{} for _ in input_traces])
+
+        if self.engine == "compiled":
+            return self._run_traces_multi_packed(input_traces, totals, clock_periods,
+                                                 output_nets, include_settled_values)
+        timing = [self._run_trace_multi_dense(bits, total, clock_periods,
+                                              output_nets, chunk_size)
+                  for bits, total in zip(input_traces, totals)]
+        settled_values = None
+        if include_settled_values:
+            settled_values = [
+                self.netlist.compute_words(operands, output_bus,
+                                           engine=self._dense_eval_engine)
+                for operands in operand_traces]
+        return BatchedTraceRun(timing=timing, settled_values=settled_values)
+
     # ------------------------------------------------------------------ #
     # Packed engine
     # ------------------------------------------------------------------ #
@@ -221,6 +307,95 @@ class FastTimingSimulator:
                                       settled_words=settled,
                                       output_width=len(output_nets))
                 for clk in clock_periods}
+
+    def _run_traces_multi_packed(self, input_traces: List[Mapping[str, np.ndarray]],
+                                 totals: List[int], clock_periods: Sequence[float],
+                                 output_nets: List[str],
+                                 include_settled_values: bool) -> BatchedTraceRun:
+        timing = self._timing_program
+        program = timing.program
+        count = len(input_traces)
+        transitions = [total - 1 for total in totals]
+        max_transitions = max(transitions)
+        sampled = {clk: [np.empty(t, dtype=np.uint64) for t in transitions]
+                   for clk in clock_periods}
+        settled = [np.empty(t, dtype=np.uint64) for t in transitions]
+        first_cycle = np.zeros(count, dtype=np.uint64)
+        late_rows = {clk: timing.late_rows(output_nets, clk) for clk in clock_periods}
+        roots = (np.concatenate(list(late_rows.values())) if late_rows
+                 else np.empty(0, dtype=np.int64))
+        plan = timing.plan_for(roots)
+        out_ids = np.array([program.net_id[net] for net in output_nets],
+                           dtype=np.int64)
+        nets = list(input_traces[0])
+
+        # Budget the chunk against everything a pass materialises per
+        # packed word and trace: the mask matrix (num_rows), the stacked
+        # value tensors (num_nets, old + new), and the decode
+        # temporaries of rows_to_words — unpacked uint64 bit matrices of
+        # ~64 word-equivalents per output bit, allocated per clock
+        # period.  Clock-specialised programs shrink num_rows by an
+        # order of magnitude; without the decode term the span would
+        # grow to match and the decode temporaries would dwarf the
+        # budget.
+        per_word_rows = (timing.num_rows + 2 * program.num_nets
+                         + 128 * max(len(output_nets), 1))
+        words_per_chunk = max(
+            64, _PACKED_CHUNK_BYTES // (8 * per_word_rows * count))
+        for start, stop in transition_chunks(max_transitions, words_per_chunk * 64):
+            span = stop - start
+            with phase("pack"):
+                # One stacked (traces, span + 1) 0/1 matrix per net; a
+                # trace that ends inside the chunk is zero-padded — its
+                # padded columns are evaluated but never decoded.
+                stacked = {}
+                for net in nets:
+                    rows = np.zeros((count, span + 1), dtype=np.uint8)
+                    for index, bits in enumerate(input_traces):
+                        high = min(stop + 1, totals[index])
+                        if high > start:
+                            rows[index, :high - start] = bits[net][start:high]
+                    stacked[net] = rows
+            with phase("simulate"):
+                old_values, new_values = program.evaluate_transitions_many(
+                    stacked, span)
+                masks = timing.run_many(old_values ^ new_values, plan=plan)
+
+                old_rows = old_values[out_ids]
+                new_rows = new_values[out_ids]
+                diff_rows = old_rows ^ new_rows
+                settled_chunk = rows_to_words(new_rows, span)
+                for index in range(count):
+                    valid = min(stop, transitions[index]) - start
+                    if valid > 0:
+                        settled[index][start:start + valid] = settled_chunk[index, :valid]
+                if include_settled_values and start == 0:
+                    # The settled word of input vector 0 is the "old"
+                    # side of transition 0; every later vector's settled
+                    # word is the "new" side of its transition.
+                    first_cycle[:] = rows_to_words(old_rows[..., :1], 1)[:, 0]
+                for clk in clock_periods:
+                    late = masks[late_rows[clk]]
+                    sampled_chunk = rows_to_words(new_rows ^ (diff_rows & late), span)
+                    for index in range(count):
+                        valid = min(stop, transitions[index]) - start
+                        if valid > 0:
+                            sampled[clk][index][start:start + valid] = \
+                                sampled_chunk[index, :valid]
+
+        timing_results = [
+            {clk: TimingErrorTrace(clock_period=clk,
+                                   sampled_words=sampled[clk][index],
+                                   settled_words=settled[index],
+                                   output_width=len(output_nets))
+             for clk in clock_periods}
+            for index in range(count)]
+        settled_values = None
+        if include_settled_values:
+            settled_values = [
+                np.concatenate([first_cycle[index:index + 1], settled[index]])
+                for index in range(count)]
+        return BatchedTraceRun(timing=timing_results, settled_values=settled_values)
 
     # ------------------------------------------------------------------ #
     # Dense reference engine

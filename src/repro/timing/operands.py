@@ -9,12 +9,17 @@ copy-pasted between the fast and the event-driven simulator.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.circuit.netlist import Netlist
 from repro.exceptions import SimulationError
+from repro.utils.lru import IdentityMemo
+
+#: Entries kept by :func:`expand_operand_traces_interned`; each holds the
+#: expanded per-net bit arrays of one (operand arrays, bus layout) pair.
+_INTERN_CACHE: "IdentityMemo[Dict[str, np.ndarray]]" = IdentityMemo(16)
 
 
 def expand_operand_traces(netlist: Netlist,
@@ -43,6 +48,42 @@ def expand_operand_traces(netlist: Netlist,
     missing = [net for net in netlist.inputs if net not in expanded]
     if missing:
         raise SimulationError(f"operand trace does not drive inputs {missing}")
+    return expanded
+
+
+def expand_operand_traces_interned(netlist: Netlist,
+                                   operands: Mapping[str, np.ndarray]
+                                   ) -> Dict[str, np.ndarray]:
+    """Like :func:`expand_operand_traces`, memoised per operand identity.
+
+    A design-space sweep expands the *same* workload trace once per
+    design; the expansion only depends on the operand arrays and the
+    netlist's bus layout (the ordered net lists of the buses driven), so
+    two designs sharing a layout can share the expanded bit traces.
+    Entries are keyed by the identity of the operand arrays (an
+    :class:`~repro.utils.lru.IdentityMemo`, so a recycled ``id`` can
+    never alias) plus the layout signature, in a small
+    least-recently-used cache.
+
+    Callers must treat the returned arrays as read-only — they are
+    shared with every other caller of the same key.
+    """
+    signature = []
+    sources = []
+    for name in sorted(operands):
+        sources.append(operands[name])
+        layout = tuple(netlist.buses[name]) if name in netlist.buses else None
+        signature.append((name, layout))
+    # The full input list takes part in the key: expansion validates that
+    # every primary input is driven, and that check must not be skipped
+    # for a netlist with extra inputs that happens to share bus layouts.
+    extra = (tuple(netlist.inputs), tuple(signature))
+    anchors = tuple(sources)
+    expanded = _INTERN_CACHE.get(anchors, extra=extra)
+    if expanded is None:
+        expanded = _INTERN_CACHE.put(anchors,
+                                     expand_operand_traces(netlist, operands),
+                                     extra=extra)
     return expanded
 
 

@@ -1,0 +1,90 @@
+"""Lightweight phase timing for the characterization pipeline.
+
+The execution runtime attributes its wall time to a handful of coarse
+phases — ``synthesize`` (netlist generation and the synthesis flow),
+``lower`` (compiling netlists and timing programs), ``pack`` (expanding
+and bit-packing operand traces), ``simulate`` (golden references and
+timing simulation) and ``score`` (turning characterizations into figure
+or sweep metrics).  The ``--timings`` flag of ``repro-experiments`` and
+``repro-explore`` prints the breakdown, so a performance investigation
+can name the hot phase without a profiler.
+
+Timing is opt-in and close to free when off: :func:`phase` reads one
+module global and yields immediately unless a collector installed by
+:func:`collect_phases` is active.  Phases are recorded in the process
+that executes them — under the multiprocess backend the worker-side
+phases stay in the workers, so a driving process reports its own
+(scheduling-side) share only.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence
+
+#: Canonical report order of the pipeline phases.
+PHASES = ("synthesize", "lower", "pack", "simulate", "score")
+
+_ACTIVE: Optional["PhaseTimes"] = None
+
+
+class PhaseTimes:
+    """Accumulated wall seconds (and call counts) per pipeline phase."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record one timed region of phase ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Sum of every attributed phase (not the end-to-end wall time)."""
+        return sum(self.seconds.values())
+
+    def describe(self, order: Sequence[str] = PHASES) -> str:
+        """Footer-ready one-line breakdown, canonical phases first."""
+        names = [name for name in order if name in self.seconds]
+        names += [name for name in sorted(self.seconds) if name not in order]
+        if not names:
+            return "no phases recorded"
+        parts = [f"{name} {self.seconds[name]:.2f} s" for name in names]
+        return " / ".join(parts) + f" (attributed {self.total():.2f} s)"
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the duration of the ``with`` body to phase ``name``.
+
+    A no-op (one global read) unless a :func:`collect_phases` collector
+    is active, so instrumented hot paths pay nothing by default.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector.add(name, time.perf_counter() - started)
+
+
+@contextmanager
+def collect_phases() -> Iterator[PhaseTimes]:
+    """Install a collector for the duration of the ``with`` block.
+
+    Collectors nest by shadowing: the innermost active block receives
+    the phases recorded while it is installed.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    collector = PhaseTimes()
+    _ACTIVE = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE = previous

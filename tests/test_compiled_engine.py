@@ -68,6 +68,30 @@ class TestPacking:
         expected = bits[0] | (bits[1] << 1) | (bits[2] << 2)
         assert np.array_equal(words, expected.astype(np.uint64))
 
+    @pytest.mark.parametrize("length", RAGGED_LENGTHS)
+    def test_rows_to_words_matches_per_position_loop(self, rng, length):
+        """The broadcast shift-and-reduce equals the old per-position loop."""
+        rows = pack_bits(rng.integers(0, 2, (17, length)).astype(np.uint8))
+        reference = np.zeros(length, dtype=np.uint64)
+        bits = unpack_bits(rows, length)
+        for position in range(rows.shape[0]):
+            reference |= bits[position].astype(np.uint64) << np.uint64(position)
+        assert np.array_equal(rows_to_words(rows, length), reference)
+
+    def test_rows_to_words_stacked_traces(self, rng):
+        """A (bits, traces, words) stack decodes each trace independently."""
+        stacked_bits = rng.integers(0, 2, (5, 3, 100)).astype(np.uint8)
+        stacked = pack_bits(stacked_bits)  # (5, 3, words)
+        words = rows_to_words(stacked, 100)
+        assert words.shape == (3, 100)
+        for trace in range(3):
+            assert np.array_equal(words[trace],
+                                  rows_to_words(stacked[:, trace], 100))
+
+    def test_rows_to_words_empty_rows(self):
+        assert np.array_equal(rows_to_words(np.empty((0, 2), dtype=np.uint64), 90),
+                              np.zeros(90, dtype=np.uint64))
+
 
 class TestLogicEquivalence:
     """Compiled packed evaluation vs the reference per-gate uint8 loop."""
@@ -228,6 +252,116 @@ class TestTimingEquivalence:
         full = timing.run(changed)
         planned = timing.run(changed, plan=timing.plan_for(rows))
         assert np.array_equal(full[rows], planned[rows])
+
+    def test_clock_specialised_program_matches_full(self, exact_design, clock_plan):
+        """A clock-specialised compilation answers its clocks identically."""
+        netlist = exact_design.netlist
+        program = netlist.compiled()
+        clocks = list(clock_plan.periods) + [exact_design.critical_path_delay * 0.7]
+        full = PackedTimingProgram(program, exact_design.annotation)
+        specialised = PackedTimingProgram(program, exact_design.annotation,
+                                          clock_periods=clocks)
+        assert specialised.num_rows <= full.num_rows
+        bits = expand_operand_traces(netlist, _random_operands(16, 130, 59))
+        old, new = program.evaluate_transitions(bits, 129)
+        changed = old ^ new
+        full_masks = full.run(changed)
+        spec_masks = specialised.run(changed)
+        nets = netlist.buses["S"]
+        for clk in clocks:
+            assert np.array_equal(full_masks[full.late_rows(nets, clk)],
+                                  spec_masks[specialised.late_rows(nets, clk)])
+
+    def test_clock_specialised_program_rejects_other_clocks(self, exact_design):
+        program = exact_design.netlist.compiled()
+        critical = exact_design.critical_path_delay
+        specialised = PackedTimingProgram(program, exact_design.annotation,
+                                          clock_periods=[critical * 0.9])
+        with pytest.raises(SimulationError):
+            specialised.late_rows(exact_design.netlist.buses["S"], critical * 0.4)
+
+
+class TestMultiTraceKernels:
+    """Stacked multi-trace execution vs per-trace execution."""
+
+    def test_run_packed_many_matches_per_trace(self, exact_design, rng):
+        netlist = exact_design.netlist
+        program = netlist.compiled()
+        traces = [_random_operands(16, length, 71 + length)
+                  for length in (100, 64, 130)]
+        longest = max(130, 100, 64)
+        words = packed_word_count(longest)
+        stacked = {}
+        per_trace_packed = []
+        for net in netlist.inputs:
+            rows = np.zeros((len(traces), words), dtype=np.uint64)
+            stacked[net] = rows
+        for index, operands in enumerate(traces):
+            bits = expand_operand_traces(netlist, operands)
+            packed = {net: pack_bits(values) for net, values in bits.items()}
+            per_trace_packed.append(packed)
+            for net, row in packed.items():
+                stacked[net][index, :row.shape[0]] = row
+        values = program.run_packed_many(stacked, len(traces), words)
+        for index, packed in enumerate(per_trace_packed):
+            alone = program.run_packed(packed,
+                                       next(iter(packed.values())).shape[0])
+            assert np.array_equal(values[:, index, :alone.shape[1]], alone)
+
+    @pytest.mark.parametrize("lengths", [(100, 64, 130), (65, 65, 65), (2, 129, 63)])
+    def test_evaluate_transitions_many_matches_single(self, exact_design, lengths):
+        netlist = exact_design.netlist
+        program = netlist.compiled()
+        traces = [expand_operand_traces(netlist, _random_operands(16, length, 83 + length))
+                  for length in lengths]
+        longest = max(lengths)
+        stacked = {}
+        for net in netlist.inputs:
+            rows = np.zeros((len(traces), longest), dtype=np.uint8)
+            for index, bits in enumerate(traces):
+                rows[index, :lengths[index]] = bits[net]
+            stacked[net] = rows
+        old_many, new_many = program.evaluate_transitions_many(stacked, longest - 1)
+        for index, bits in enumerate(traces):
+            transitions = lengths[index] - 1
+            if transitions < 1:
+                continue
+            old, new = program.evaluate_transitions(bits, transitions)
+            words = packed_word_count(transitions)
+            # whole words match exactly; the last (ragged) word matches on
+            # the bits that name real transitions
+            if words > 1:
+                assert np.array_equal(old_many[:, index, :words - 1],
+                                      old[:, :words - 1])
+                assert np.array_equal(new_many[:, index, :words - 1],
+                                      new[:, :words - 1])
+            tail = transitions - (words - 1) * 64
+            mask = np.uint64((1 << tail) - 1) if tail < 64 else ~np.uint64(0)
+            assert np.array_equal(old_many[:, index, words - 1] & mask,
+                                  old[:, words - 1] & mask)
+            assert np.array_equal(new_many[:, index, words - 1] & mask,
+                                  new[:, words - 1] & mask)
+
+    def test_run_many_matches_run(self, exact_design):
+        netlist = exact_design.netlist
+        program = netlist.compiled()
+        timing = PackedTimingProgram(program, exact_design.annotation)
+        traces = [expand_operand_traces(netlist, _random_operands(16, 130, seed))
+                  for seed in (91, 92, 93)]
+        diffs = []
+        for bits in traces:
+            old, new = program.evaluate_transitions(bits, 129)
+            diffs.append(old ^ new)
+        stacked = np.stack(diffs, axis=1)  # (num_nets, traces, words)
+        masks_many = timing.run_many(stacked)
+        for index, changed in enumerate(diffs):
+            assert np.array_equal(masks_many[:, index], timing.run(changed))
+
+    def test_run_many_rejects_flat_input(self, exact_design):
+        program = exact_design.netlist.compiled()
+        timing = PackedTimingProgram(program, exact_design.annotation)
+        with pytest.raises(SimulationError):
+            timing.run_many(np.zeros((program.num_nets, 2), dtype=np.uint64))
 
 
 class TestOperandExpansion:

@@ -65,7 +65,11 @@ def assert_bit_identical(reference, candidate):
 
 
 class CountingBackend(SerialBackend):
-    """Serial backend that counts the jobs it actually executes."""
+    """Serial backend that counts the work units it actually executes.
+
+    Whole jobs and sub-job tasks (golden passes, timing chunks) both
+    count — the sharded cold path delegates tasks, not whole jobs.
+    """
 
     def __init__(self):
         self.executed = 0
@@ -74,6 +78,11 @@ class CountingBackend(SerialBackend):
         jobs = list(jobs)
         self.executed += len(jobs)
         return super().run(jobs)
+
+    def run_tasks(self, tasks):
+        tasks = list(tasks)
+        self.executed += len(tasks)
+        return super().run_tasks(tasks)
 
 
 class TestJobDigest:
@@ -296,6 +305,126 @@ class TestConcurrentWriters:
             second.close()
 
 
+class TestInventoryIndex:
+    """The incrementally maintained (mtime, bytes) inventory index."""
+
+    @staticmethod
+    def _ground_truth(store):
+        """Fresh-scan inventory, independent of the index."""
+        truth = {}
+        for prefix in store.root.iterdir():
+            if not prefix.is_dir():
+                continue
+            for entry in prefix.iterdir():
+                if not entry.is_dir():
+                    continue
+                total = sum(item.stat().st_size for item in entry.iterdir())
+                truth[entry] = total
+        return truth
+
+    def test_index_tracks_stores_and_prunes(self, tmp_path):
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path, limit_bytes=10_000_000)
+        digests = [format(index, "02x") + "f" * 62 for index in range(6)]
+        for index, digest in enumerate(digests):
+            store.store(store.result_path(digest),
+                        {"blob": np.arange(64 * (index + 1), dtype=np.uint64)})
+        truth = self._ground_truth(store)
+        indexed = {entry: size for _, size, entry in store.entry_inventory()}
+        assert indexed == truth
+        assert store.total_bytes() == sum(truth.values())
+        # grow one entry and overwrite another: index follows without rescans
+        store.store(store.golden_path(digests[0]), {"golden": np.ones(128)})
+        store.store(store.result_path(digests[1]),
+                    {"blob": np.arange(1024, dtype=np.uint64)})
+        indexed = {entry: size for _, size, entry in store.entry_inventory()}
+        assert indexed == self._ground_truth(store)
+
+    def test_index_avoids_rescans_after_first_use(self, tmp_path, monkeypatch):
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path)
+        digests = [format(index, "02x") + "e" * 62 for index in range(4)]
+        for digest in digests:
+            store.store(store.result_path(digest), {"blob": np.zeros(8)})
+        store.entry_inventory()  # first use: full scan builds the index
+        scans = []
+        original = ResultStore._scan_entry
+
+        def counting_scan(self, entry):
+            scans.append(entry)
+            return original(self, entry)
+
+        monkeypatch.setattr(ResultStore, "_scan_entry", counting_scan)
+        store.store(store.result_path(digests[0]), {"blob": np.zeros(16)})
+        store.load(store.result_path(digests[1]))
+        store.entry_inventory()
+        assert scans == []  # in-process updates never rescan entries
+
+    def test_own_write_does_not_mask_concurrent_entry(self, tmp_path):
+        """Writing into a prefix must not hide another process's entry there.
+
+        Regression: recording the prefix mtime after our own write used
+        to swallow a concurrent writer's entry created in between.
+        """
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path)
+        store.store(store.result_path("aa" + "1" * 62), {"blob": np.zeros(8)})
+        store.entry_inventory()  # index built
+        other = ResultStore(tmp_path)  # another process, in spirit
+        other.store(other.result_path("aa" + "2" * 62), {"blob": np.zeros(32)})
+        # our next writes land in the same prefix: one into an existing
+        # entry, one creating a new entry
+        store.store(store.golden_path("aa" + "1" * 62), {"golden": np.zeros(4)})
+        store.store(store.result_path("aa" + "3" * 62), {"blob": np.zeros(16)})
+        seen = {entry.name for _, _, entry in store.entry_inventory()}
+        assert "aa" + "2" * 62 in seen
+        assert len(seen) == 3
+        indexed = {entry: size for _, size, entry in store.entry_inventory()}
+        assert indexed == self._ground_truth(store)
+
+    def test_index_sees_external_writers(self, tmp_path):
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path)
+        store.store(store.result_path("aa" + "d" * 62), {"blob": np.zeros(8)})
+        store.entry_inventory()
+        # a second store (another process, in spirit) adds entries — one
+        # in a fresh prefix, one next to the existing entry
+        other = ResultStore(tmp_path)
+        other.store(other.result_path("bb" + "d" * 62), {"blob": np.zeros(32)})
+        other.store(other.result_path("aa" + "c" * 62), {"blob": np.zeros(16)})
+        indexed = {entry: size for _, size, entry in store.entry_inventory()}
+        assert indexed == self._ground_truth(store)
+
+    def test_load_refreshes_eviction_order(self, tmp_path):
+        import os
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path)
+        old_digest, new_digest = "aa" + "b" * 62, "cc" + "b" * 62
+        store.store(store.result_path(old_digest), {"blob": np.zeros(64)})
+        store.store(store.result_path(new_digest), {"blob": np.zeros(64)})
+        os.utime(store.result_path(old_digest), (1, 1))
+        store.entry_inventory()
+        # budget fits exactly one entry, so the prune must evict one
+        store.limit_bytes = store.total_bytes() // 2 + 1
+        # loading the back-dated entry refreshes its mtime in the index,
+        # so the prune evicts the *other* entry
+        store.load(store.result_path(old_digest))
+        assert store.prune_to_limit() == 1
+        remaining = [entry for _, _, entry in store.entry_inventory()]
+        assert remaining == [store.entry_dir(old_digest)]
+
+    def test_corrupt_discard_updates_index(self, tmp_path):
+        from repro.runtime import ResultStore
+        store = ResultStore(tmp_path)
+        digest = "dd" + "a" * 62
+        store.store(store.result_path(digest), {"blob": np.zeros(256)})
+        store.entry_inventory()
+        store.result_path(digest).write_bytes(b"garbage")
+        assert store.load(store.result_path(digest)) is None  # discarded
+        indexed = {entry: size for _, size, entry in store.entry_inventory()}
+        assert indexed == self._ground_truth(store)
+
+
 class TestStudyConfigIntegration:
     def test_cache_dir_env_read_once(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -313,7 +442,7 @@ class TestStudyConfigIntegration:
             backend = config.runtime_backend()
             assert isinstance(backend, CachingBackend)
             assert backend is config.runtime_backend()  # shared instance
-            assert backend.describe() == "cache[serial]"
+            assert backend.describe() == "cache[planned[serial]]"
             uncached = StudyConfig(backend="serial", cache_dir=None)
             assert not isinstance(uncached.runtime_backend(), CachingBackend)
         finally:
@@ -376,10 +505,11 @@ class TestPoolLifecycle:
         backend = config.runtime_backend()
         job = small_job(length=70)
         backend.run([job])
-        assert backend._pool is not None
+        pool_backend = backend.inner  # planner wraps the shared raw backend
+        assert pool_backend._pool is not None
         assert _BACKEND_INSTANCES
         shutdown_backends()
-        assert backend._pool is None
+        assert pool_backend._pool is None
         assert not _BACKEND_INSTANCES
         # idempotent, and the registry repopulates lazily afterwards
         shutdown_backends()

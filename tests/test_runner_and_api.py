@@ -78,7 +78,7 @@ class TestRunnerCli:
         assert exit_code == 0
         text = output.read_text()
         assert "Fig. 10" in text
-        assert "backend=multiprocess[2]" in text
+        assert "backend=planned[multiprocess[2]]" in text
         assert "engine=compiled" in text
 
     def test_run_all_fig9_only(self):
