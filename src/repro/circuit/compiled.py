@@ -147,6 +147,33 @@ def pack_word_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
     return rows
 
 
+def levelise_netlist(netlist) -> Tuple[Dict[str, int], List[int]]:
+    """Dense net IDs and per-gate levels of a netlist.
+
+    Net IDs follow the shared indexing scheme of the compiled programs
+    and the vectorized STA kernels: ``const0`` = 0, ``const1`` = 1, then
+    the primary inputs, then every gate output in topological order.
+    The returned level list is parallel to
+    ``netlist.topological_order()``: inputs and constants sit at level
+    0, a gate one above its deepest input.
+    """
+    order = netlist.topological_order()
+    net_id: Dict[str, int] = {_CONST0: 0, _CONST1: 1}
+    for net in netlist.inputs:
+        net_id[net] = len(net_id)
+    for gate in order:
+        net_id[gate.output] = len(net_id)
+    # Gate output IDs are assigned consecutively in topological order,
+    # so appending keeps the list indexable by net ID.
+    level: List[int] = [0] * (2 + len(netlist.inputs))
+    gate_levels: List[int] = []
+    for gate in order:
+        gate_level = 1 + max(level[net_id[net]] for net in gate.inputs)
+        level.append(gate_level)
+        gate_levels.append(gate_level)
+    return net_id, gate_levels
+
+
 @dataclass(frozen=True)
 class _EvalBatch:
     """All gates of one (level, cell) group: one kernel call per batch."""
@@ -168,25 +195,17 @@ class CompiledProgram:
         self.netlist = netlist
         order = netlist.topological_order()
 
-        net_id: Dict[str, int] = {_CONST0: 0, _CONST1: 1}
-        for net in netlist.inputs:
-            net_id[net] = len(net_id)
-        for gate in order:
-            net_id[gate.output] = len(net_id)
+        net_id, gate_levels = levelise_netlist(netlist)
         self.net_id = net_id
         self.num_nets = len(net_id)
         self.input_ids = np.array([net_id[net] for net in netlist.inputs], dtype=np.int64)
 
-        # Levelise: level 0 = inputs/constants, gates at 1 + max(input levels).
-        level: Dict[int, int] = {i: 0 for i in range(2 + len(netlist.inputs))}
         self.gate_level: Dict[str, int] = {}
         grouped: Dict[Tuple[int, str], List] = {}
-        for gate in order:
-            gate_level = 1 + max(level[net_id[net]] for net in gate.inputs)
-            level[net_id[gate.output]] = gate_level
+        for gate, gate_level in zip(order, gate_levels):
             self.gate_level[gate.output] = gate_level
             grouped.setdefault((gate_level, gate.cell), []).append(gate)
-        self.num_levels = max(level.values(), default=0)
+        self.num_levels = max(gate_levels, default=0)
 
         self.batches: List[_EvalBatch] = []
         for (gate_level, cell_name) in sorted(grouped):

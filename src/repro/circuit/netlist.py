@@ -116,6 +116,27 @@ class Netlist:
         self._invalidate_caches()
         return gate
 
+    def install_gates(self, records: Sequence[Tuple[str, str, Tuple[str, ...], str]]) -> None:
+        """Bulk-append pre-validated ``(name, cell, inputs, output)`` gates.
+
+        Trusted fast path for callers that already uphold every invariant
+        :meth:`add_gate` checks — unique gate and net names, declared
+        inputs, correct arity, topological order.  The indexed optimizer
+        guarantees these by construction when materialising its result
+        (and the synthesis flow re-verifies with ``check_netlist``).
+        """
+        nets = self._nets
+        drivers = self._drivers
+        gate_names = self._gate_names
+        append = self.gates.append
+        for name, cell_name, inputs, output in records:
+            gate = Gate(name=name, cell=cell_name, inputs=inputs, output=output)
+            nets[output] = None
+            drivers[output] = gate
+            gate_names[name] = gate
+            append(gate)
+        self._invalidate_caches()
+
     def register_bus(self, name: str, nets: Sequence[str]) -> None:
         """Associate an ordered list of nets (LSB first) with a bus name."""
         for net in nets:

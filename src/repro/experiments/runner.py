@@ -37,6 +37,7 @@ from repro.experiments.fig9_rms import run_fig9
 from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
 from repro.runtime import BACKENDS, CachingBackend
+from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
 from repro.utils.phases import collect_phases
 
@@ -70,12 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache even when $REPRO_CACHE_DIR "
                              "is set")
+    parser.add_argument("--synth-cache-dir", type=str, default=None, metavar="DIR",
+                        help="persistent synthesis cache: designs synthesized by any "
+                             "run or process load from disk bit-identically instead "
+                             "of re-running the flow (default: $REPRO_SYNTH_CACHE, "
+                             "or no cache)")
+    parser.add_argument("--no-synth-cache", action="store_true",
+                        help="disable the synthesis cache even when $REPRO_SYNTH_CACHE "
+                             "is set")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--timings", action="store_true",
-                        help="append a phase breakdown (synthesize / lower / pack / "
-                             "simulate / score) to the footer; phases are measured "
-                             "in the driving process, so multiprocess worker time "
-                             "appears only as elapsed wall time")
+                        help="append a phase breakdown (synthesize — split into "
+                             "synth.optimize / synth.sizing / synth.sta sub-phases — "
+                             "then lower / pack / simulate / score) to the footer; "
+                             "phases are measured in the driving process, so "
+                             "multiprocess worker time appears only as elapsed "
+                             "wall time")
     parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
                         choices=["fig7", "fig8", "fig9", "fig10"],
                         help="which figures to regenerate")
@@ -93,6 +104,9 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
     # the process; the footer reports the delta of *this* run only.
     stats_baseline = (backend_instance.stats.snapshot()
                       if isinstance(backend_instance, CachingBackend) else None)
+    synth_cache = active_synth_cache()
+    synth_baseline = (synth_cache.stats.snapshot()
+                      if synth_cache is not None else None)
 
     if "fig7" in figures or "fig8" in figures:
         study = run_prediction_study(config)
@@ -127,6 +141,10 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
         run_stats = backend_instance.stats.since(stats_baseline)
         cache_note = (f", cache={run_stats.describe()} "
                       f"[{backend_instance.store.root}]")
+    if synth_baseline is not None:
+        synth_stats = synth_cache.stats.since(synth_baseline)
+        cache_note += (f", synth-cache={synth_stats.describe()} "
+                       f"[{synth_cache.store.root}]")
     sections.append(f"(regenerated {', '.join(figures)} in {elapsed:.1f} s, "
                     f"simulator={config.simulator}, engine={config.engine}, "
                     f"backend={backend_instance.describe()}, "
@@ -141,6 +159,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.no_cache and arguments.cache_dir:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if arguments.no_synth_cache and arguments.synth_cache_dir:
+        parser.error("--no-synth-cache and --synth-cache-dir are mutually exclusive")
+    if arguments.no_synth_cache:
+        configure_synth_cache(None)
+    elif arguments.synth_cache_dir is not None:
+        # Exports $REPRO_SYNTH_CACHE so multiprocess workers spawned by
+        # the backend read through the same on-disk cache.
+        configure_synth_cache(arguments.synth_cache_dir)
     overrides = {"simulator": arguments.simulator, "engine": arguments.engine,
                  "seed": arguments.seed}
     if arguments.backend is not None:

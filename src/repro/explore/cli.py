@@ -34,6 +34,7 @@ from repro.explore.pareto import (
 from repro.explore.space import DesignSpace
 from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep, sweep_clock_plan
 from repro.runtime import BACKENDS, CachingBackend
+from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
 from repro.utils.phases import collect_phases
 from repro.workloads.generators import GENERATORS, WorkloadSpec
@@ -91,12 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="byte budget of the result cache; oldest entries are "
                              "pruned after writes (default: $REPRO_CACHE_LIMIT_MB, "
                              "or unbounded)")
+    parser.add_argument("--synth-cache-dir", type=str, default=None, metavar="DIR",
+                        help="persistent synthesis cache: designs synthesized by any "
+                             "run or process load from disk bit-identically instead "
+                             "of re-running the flow (default: $REPRO_SYNTH_CACHE, "
+                             "or no cache)")
+    parser.add_argument("--no-synth-cache", action="store_true",
+                        help="disable the synthesis cache even when $REPRO_SYNTH_CACHE "
+                             "is set")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--timings", action="store_true",
-                        help="append a phase breakdown (synthesize / lower / pack / "
-                             "simulate / score) to the footer; phases are measured "
-                             "in the driving process, so multiprocess worker time "
-                             "appears only as elapsed wall time")
+                        help="append a phase breakdown (synthesize — split into "
+                             "synth.optimize / synth.sizing / synth.sta sub-phases — "
+                             "then lower / pack / simulate / score) to the footer; "
+                             "phases are measured in the driving process, so "
+                             "multiprocess worker time appears only as elapsed "
+                             "wall time")
     parser.add_argument("--top", type=int, default=0, metavar="N",
                         help="print only the N best-ranked frontier rows (default: all)")
     parser.add_argument("--output", type=str, default=None,
@@ -187,6 +198,16 @@ def run_exploration(arguments) -> str:
     space = design_space(arguments)
     spec = build_sweep(arguments, config, space=space)
 
+    if arguments.no_synth_cache:
+        configure_synth_cache(None)
+    elif arguments.synth_cache_dir is not None:
+        # Exports $REPRO_SYNTH_CACHE so multiprocess workers spawned by
+        # the backend read through the same on-disk cache.
+        configure_synth_cache(arguments.synth_cache_dir)
+    synth_cache = active_synth_cache()
+    synth_baseline = (synth_cache.stats.snapshot()
+                      if synth_cache is not None else None)
+
     backend = config.runtime_backend()
     stats_baseline = (backend.stats.snapshot()
                       if isinstance(backend, CachingBackend) else None)
@@ -212,6 +233,10 @@ def run_exploration(arguments) -> str:
         simulated = run_stats.misses
         cache_note = (f", cache={run_stats.describe()} [{backend.store.root}]"
                       f", simulated {simulated} of {spec.job_count} jobs")
+    if synth_baseline is not None:
+        synth_stats = synth_cache.stats.since(synth_baseline)
+        cache_note += (f", synth-cache={synth_stats.describe()} "
+                       f"[{synth_cache.store.root}]")
     sections.append(
         f"(explored {len(spec.entries)} designs / {spec.point_count} points in "
         f"{elapsed:.1f} s, backend={backend.describe()}, seed={arguments.seed}"
@@ -225,6 +250,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.no_cache and arguments.cache_dir:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if arguments.no_synth_cache and arguments.synth_cache_dir:
+        parser.error("--no-synth-cache and --synth-cache-dir are mutually exclusive")
     if arguments.width < 2:
         parser.error("--width must be at least 2 (a 1-bit adder has no quadruple space)")
     if arguments.length < 16:

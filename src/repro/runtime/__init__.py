@@ -56,12 +56,19 @@ from repro.runtime.jobs import (
     CharacterizationJob,
     DesignCharacterization,
     build_simulator,
+    clear_design_cache,
     execute_job,
     merge_timing_chunks,
     synthesize_entry,
     synthesize_job,
 )
 from repro.runtime.plan import PlannedBackend, execute_group
+from repro.runtime.synth_cache import (
+    SynthesisCache,
+    active_synth_cache,
+    configure_synth_cache,
+    synth_digest,
+)
 
 __all__ = [
     "BACKENDS",
@@ -76,10 +83,15 @@ __all__ = [
     "PlannedBackend",
     "ResultStore",
     "SerialBackend",
+    "SynthesisCache",
     "Task",
     "TimingChunkTask",
+    "active_synth_cache",
     "build_simulator",
+    "clear_design_cache",
+    "configure_synth_cache",
     "execute_group",
+    "synth_digest",
     "execute_job",
     "execute_tasks",
     "get_backend",

@@ -104,10 +104,14 @@ def execute_tasks(tasks: Sequence[Task],
         if isinstance(task, GoldenTask):
             results.append((synthesized,) + golden_reference(job, synthesized))
             continue
-        simulator = simulators.get(key)
+        # Simulators are clock-specialised, so their reuse key carries
+        # the clock plan on top of the design identity.
+        simulator_key = (key, job.clock_periods)
+        simulator = simulators.get(simulator_key)
         if simulator is None:
-            simulator = simulators[key] = build_simulator(job.simulator, synthesized,
-                                                          engine=job.engine)
+            simulator = simulators[simulator_key] = build_simulator(
+                job.simulator, synthesized, engine=job.engine,
+                clock_periods=job.clock_periods)
         results.append(run_timing(job, simulator))
     return results
 
@@ -153,45 +157,47 @@ class SerialBackend(Backend):
     name = "serial"
 
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
-        designs: Dict[tuple, object] = {}
         simulators: Dict[tuple, object] = {}
         results: List[DesignCharacterization] = []
         for job in jobs:
-            key = job.cache_key()
-            if key not in designs:
-                designs[key] = synthesize_job(job)
-                simulators[key] = build_simulator(job.simulator, designs[key],
-                                                  engine=job.engine)
-            results.append(execute_job(job, synthesized=designs[key],
-                                       simulator=simulators[key]))
+            # synthesize_job memoises process-wide (and reads through the
+            # persistent synthesis cache), so a batch shares one design
+            # per synthesis identity without a batch-local dict.
+            synthesized = synthesize_job(job)
+            simulator_key = (job.cache_key(), job.clock_periods)
+            if simulator_key not in simulators:
+                simulators[simulator_key] = build_simulator(
+                    job.simulator, synthesized, engine=job.engine,
+                    clock_periods=job.clock_periods)
+            results.append(execute_job(job, synthesized=synthesized,
+                                       simulator=simulators[simulator_key]))
         return results
 
 
 # --------------------------------------------------------------------- #
 # Worker-side machinery of the multiprocess backend
 # --------------------------------------------------------------------- #
-#: Per-process caches: synthesized designs and simulators by job cache key.
-#: Lowering (synthesis, netlist compilation, timing-program compilation)
-#: therefore happens once per worker process and design, no matter how
+#: Per-process simulator cache by (job cache key, clock plan).  The
+#: design-side cache lives in :func:`repro.runtime.jobs.synthesize_job`
+#: (the read-through path of the persistent synthesis cache), so
+#: lowering happens once per worker process and design, no matter how
 #: many trace chunks the worker executes.
-_DESIGN_CACHE: Dict[tuple, object] = {}
 _SIMULATOR_CACHE: Dict[tuple, object] = {}
 
 
 def _cached_design(job: CharacterizationJob):
-    key = job.cache_key()
-    design = _DESIGN_CACHE.get(key)
-    if design is None:
-        design = _DESIGN_CACHE[key] = synthesize_job(job)
-    return design
+    return synthesize_job(job)
 
 
 def _cached_simulator(job: CharacterizationJob):
-    key = job.cache_key()
+    # Clock plan in the key: simulators are specialised to the periods
+    # the job samples, so two plans over one design need two programs.
+    key = (job.cache_key(), job.clock_periods)
     simulator = _SIMULATOR_CACHE.get(key)
     if simulator is None:
         simulator = _SIMULATOR_CACHE[key] = build_simulator(
-            job.simulator, _cached_design(job), engine=job.engine)
+            job.simulator, _cached_design(job), engine=job.engine,
+            clock_periods=job.clock_periods)
     return simulator
 
 

@@ -50,21 +50,11 @@ chunks of one sharded job into a single multi-trace evaluation.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
-import os
-import pickle
-import shutil
-import tempfile
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro._version import __version__
 from repro.circuit.compiled import transition_chunks
-from repro.circuit.library import TechnologyLibrary
 from repro.exceptions import ConfigurationError
 from repro.runtime.backends import (
     Backend,
@@ -78,10 +68,20 @@ from repro.runtime.jobs import (
     DesignCharacterization,
     merge_timing_chunks,
 )
+from repro.runtime.store import (  # noqa: F401 - re-exported cache machinery
+    STORE_FORMAT,
+    CacheStats,
+    ResultStore,
+    _canonical,
+    _canonical_synthesis,
+    digest_of,
+    trace_digest,
+)
 
-#: Bumped whenever the stored payload layout changes; old entries are
-#: then unreadable by design and silently recomputed.
-CACHE_FORMAT = 1
+#: Format counter of the job-result payloads; tracks :data:`STORE_FORMAT`
+#: (kept as a distinct name so the two can diverge if only one payload
+#: layout changes).
+CACHE_FORMAT = STORE_FORMAT
 
 #: Traces with more transitions than this spill to per-chunk timing
 #: shards instead of one monolithic result pickle (word-aligned via
@@ -89,73 +89,9 @@ CACHE_FORMAT = 1
 DEFAULT_SHARD_TRANSITIONS = 65536
 
 
-# --------------------------------------------------------------------- #
-# Job identity -> digest
-# --------------------------------------------------------------------- #
-def _canonical(value):
-    """JSON-serialisable canonical form of a cache-key component.
-
-    Floats go through :meth:`float.hex` so the digest is exact, not
-    subject to repr rounding; dataclasses flatten to name-tagged field
-    dicts; libraries use their value key (the same one their ``__eq__``
-    compares by).
-    """
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, float):
-        return float.hex(value)
-    if isinstance(value, (tuple, list)):
-        return [_canonical(item) for item in value]
-    if isinstance(value, dict):
-        return {str(key): _canonical(item) for key, item in sorted(value.items())}
-    if isinstance(value, TechnologyLibrary):
-        return {"__library__": _canonical(value._value_key())}
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = {f.name: _canonical(getattr(value, f.name))
-                  for f in dataclasses.fields(value)}
-        fields["__dataclass__"] = type(value).__name__
-        return fields
-    raise ConfigurationError(
-        f"cannot derive a stable cache key from a {type(value).__name__} "
-        f"({value!r}); cache keys are built from primitives and dataclasses")
-
-
-def _canonical_synthesis(options) -> dict:
-    """Synthesis options with the variation seed normalised for keying.
-
-    With ``variation_sigma == 0`` the seed cannot influence the result,
-    so it is normalised away (all unvaried runs share entries).  With a
-    positive sigma only integer seeds are reproducible enough to cache
-    under — generator objects carry hidden state a digest cannot see.
-    """
-    canonical = _canonical(
-        dataclasses.replace(options, variation_seed=None)
-        if options.variation_sigma == 0 else
-        options if isinstance(options.variation_seed, int) else None)
-    if canonical is None:
-        raise ConfigurationError(
-            "result caching with variation_sigma > 0 requires an integer "
-            f"variation_seed, got {options.variation_seed!r}")
-    return canonical
-
-
-def trace_digest(trace) -> str:
-    """SHA-256 of a trace's *content*: width, length and operand bytes.
-
-    The trace name is deliberately excluded — it records provenance
-    (e.g. slice positions), not stimulus, and two identically-valued
-    traces must share cache entries.
-    """
-    digest = hashlib.sha256()
-    digest.update(f"operand-trace/{trace.width}/{trace.length}/".encode())
-    digest.update(np.asarray(trace.a, dtype=np.uint64).astype("<u8", copy=False).tobytes())
-    digest.update(np.asarray(trace.b, dtype=np.uint64).astype("<u8", copy=False).tobytes())
-    return digest.hexdigest()
-
-
 def job_digest(job: CharacterizationJob) -> str:
     """Stable content digest of a characterization job's full identity."""
-    payload = {
+    return digest_of({
         "format": CACHE_FORMAT,
         "library_version": __version__,
         "entry": _canonical(job.entry),
@@ -167,376 +103,7 @@ def job_digest(job: CharacterizationJob) -> str:
         "clock_periods": _canonical(job.clock_periods),
         "synthesis": _canonical_synthesis(job.synthesis),
         "trace": trace_digest(job.trace),
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
-# --------------------------------------------------------------------- #
-# On-disk store
-# --------------------------------------------------------------------- #
-@dataclass
-class CacheStats:
-    """Counters of one :class:`CachingBackend` (cumulative across runs).
-
-    Shared backend instances accumulate over a whole process; callers
-    reporting a single run take a :meth:`snapshot` first and describe the
-    :meth:`since` delta (or call
-    :meth:`CachingBackend.reset_counters`), so one study's footer never
-    shows another study's hits.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    shard_hits: int = 0
-    shard_misses: int = 0
-    corrupt: int = 0
-    pruned: int = 0
-
-    def snapshot(self) -> "CacheStats":
-        """An independent copy of the current counter values."""
-        return dataclasses.replace(self)
-
-    def since(self, baseline: "CacheStats") -> "CacheStats":
-        """Counter deltas accumulated after ``baseline`` was snapshotted."""
-        return CacheStats(**{
-            counter.name: getattr(self, counter.name) - getattr(baseline, counter.name)
-            for counter in dataclasses.fields(self)})
-
-    def reset(self) -> None:
-        """Zero every counter in place (the object stays shared with its store)."""
-        for counter in dataclasses.fields(self):
-            setattr(self, counter.name, 0)
-
-    def describe(self) -> str:
-        """Footer-ready summary, e.g. ``"24 hits / 0 misses"``."""
-        text = f"{self.hits} hits / {self.misses} misses"
-        if self.shard_hits or self.shard_misses:
-            text += f" ({self.shard_hits} shards reused, {self.shard_misses} recomputed)"
-        if self.corrupt:
-            text += f", {self.corrupt} corrupt entries discarded"
-        if self.pruned:
-            text += f", {self.pruned} entries pruned to the size budget"
-        return text
-
-
-class ResultStore:
-    """Content-addressed pickle store with atomic, corruption-safe entries.
-
-    Layout: ``<root>/<digest[:2]>/<digest>/`` holds ``result.pkl``
-    (monolithic entries), or ``golden.pkl`` plus
-    ``shard-<start>-<stop>.pkl`` files (sharded entries), plus a
-    best-effort human-readable ``meta.json``.
-
-    ``limit_bytes`` puts the store on a byte budget: after a batch of
-    writes, :meth:`prune_to_limit` deletes whole entries
-    least-recently-used-first (:meth:`load` refreshes the mtime of what
-    it reads, so both writes and hits count as use) until the store
-    fits.  An unbounded design-space sweep can
-    therefore never fill the disk; the evicted work simply becomes a
-    recompute-miss on its next request.
-
-    The inventory behind the budget is an in-memory ``(newest mtime,
-    total bytes)`` index per entry, built by one full scan on first use
-    and updated incrementally by this store's own writes, reads and
-    prunes.  Work by *other* processes is detected through the mtimes of
-    the 256 prefix directories (entry creation and deletion touch them),
-    so a refresh costs O(prefixes) stats instead of O(entries x files);
-    a concurrent writer mutating files *inside* an existing entry goes
-    unseen until that entry is touched locally — acceptable, because the
-    inventory is advisory (budget enforcement), never load-bearing.
-    """
-
-    def __init__(self, root, stats: Optional[CacheStats] = None,
-                 limit_bytes: Optional[int] = None) -> None:
-        if limit_bytes is not None and limit_bytes < 1:
-            raise ConfigurationError(
-                f"cache limit_bytes must be positive, got {limit_bytes}")
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.stats = stats if stats is not None else CacheStats()
-        self.limit_bytes = limit_bytes
-        #: prefix dir -> {entry dir -> [newest mtime, total bytes]};
-        #: None until first use.  Bucketing by prefix keeps a prefix
-        #: rescan proportional to that prefix's entries, not the store.
-        self._index: Optional[Dict[Path, Dict[Path, List]]] = None
-        #: prefix dir -> st_mtime_ns at the last (re)scan.
-        self._prefix_signatures: Dict[Path, int] = {}
-
-    # ------------------------------------------------------------------ #
-    def entry_dir(self, digest: str) -> Path:
-        """Directory holding every file of one cache entry."""
-        return self.root / digest[:2] / digest
-
-    def result_path(self, digest: str) -> Path:
-        return self.entry_dir(digest) / "result.pkl"
-
-    def golden_path(self, digest: str) -> Path:
-        return self.entry_dir(digest) / "golden.pkl"
-
-    def shard_path(self, digest: str, start: int, stop: int) -> Path:
-        return self.entry_dir(digest) / f"shard-{start:010d}-{stop:010d}.pkl"
-
-    # ------------------------------------------------------------------ #
-    def load(self, path: Path):
-        """The stored payload, or ``None`` when absent or unreadable.
-
-        A truncated, corrupted or foreign-format file is discarded and
-        counted — the caller recomputes; a damaged cache never crashes
-        a run.
-        """
-        try:
-            with open(path, "rb") as handle:
-                wrapper = pickle.load(handle)
-            if wrapper["format"] != CACHE_FORMAT:
-                raise ValueError(f"unknown cache format {wrapper['format']!r}")
-            try:
-                # Refresh the mtime so budget pruning evicts by *use*, not
-                # by write: an entry the current batch just hit must never
-                # be the "oldest" one the same batch's prune throws away.
-                os.utime(path)
-            except OSError:
-                pass
-            self._note_use(path)
-            return wrapper["payload"]
-        except FileNotFoundError:
-            return None
-        except Exception:
-            self.stats.corrupt += 1
-            self._discard(path)
-            return None
-
-    def store(self, path: Path, payload) -> None:
-        """Atomically persist ``payload`` (write-to-temp + rename).
-
-        The temp file lives in the target directory so the final
-        :func:`os.replace` stays on one filesystem and is atomic;
-        concurrent writers of the same key each publish a complete file
-        and the last rename wins (all writers produce identical bytes
-        for identical keys, so the winner does not matter).
-        """
-        observation = self._observe_before_write(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
-                                             suffix=".pkl")
-        replaced = self._size_of(path)
-        try:
-            with os.fdopen(handle, "wb") as stream:
-                pickle.dump({"format": CACHE_FORMAT, "payload": payload}, stream,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        self._note_write(path, replaced, observation)
-
-    def write_meta(self, digest: str, meta: dict) -> None:
-        """Best-effort ``meta.json`` describing the entry for humans."""
-        path = self.entry_dir(digest) / "meta.json"
-        if path.exists():
-            return
-        observation = self._observe_before_write(path)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
-                                                 suffix=".json")
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(meta, stream, indent=2, sort_keys=True)
-            os.replace(temp_name, path)
-        except OSError:  # pragma: no cover - diagnostics only
-            return
-        self._note_write(path, 0, observation)
-
-    def _discard(self, path: Path) -> None:
-        try:
-            os.unlink(path)
-        except OSError:
-            return
-        if self._index is not None:
-            # Corruption implies an outside actor already touched the
-            # entry, so the cheap size delta cannot be trusted — rescan
-            # this one entry (corruption is rare; the scan is per-file
-            # stats of a single directory).
-            entry = path.parent
-            bucket = self._index.setdefault(entry.parent, {})
-            record = self._scan_entry(entry)
-            if record is not None:
-                bucket[entry] = record
-            else:
-                bucket.pop(entry, None)
-
-    # ------------------------------------------------------------------ #
-    # Inventory index
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _size_of(path: Path) -> int:
-        try:
-            return os.stat(path).st_size
-        except OSError:
-            return 0
-
-    def _observe_before_write(self, path: Path) -> Optional[Tuple[bool, Optional[int]]]:
-        """Snapshot taken before a write: is the entry dir new, and what
-        was the prefix's mtime at that moment?  ``None`` before first use."""
-        if self._index is None:
-            return None
-        entry = path.parent
-        if entry.is_dir():
-            return (False, None)
-        try:
-            return (True, entry.parent.stat().st_mtime_ns)
-        except OSError:
-            return (True, None)
-
-    def _note_write(self, path: Path, replaced_bytes: int,
-                    observation: Optional[Tuple[bool, Optional[int]]]) -> None:
-        """Fold one written file into the index (no-op before first use)."""
-        if self._index is None or observation is None:
-            return
-        try:
-            stat = os.stat(path)
-        except OSError:
-            return
-        entry = path.parent
-        bucket = self._index.setdefault(entry.parent, {})
-        record = bucket.get(entry)
-        if record is None:
-            bucket[entry] = [stat.st_mtime, stat.st_size]
-        else:
-            record[0] = max(record[0], stat.st_mtime)
-            record[1] = max(record[1] + stat.st_size - replaced_bytes, 0)
-        created_entry, prefix_sig_before = observation
-        if created_entry:
-            # Our mkdir changed the prefix mtime.  Re-record it only if
-            # nothing else had changed it since our last scan — else a
-            # concurrent writer's entries would be masked behind our own
-            # signature; leaving it stale forces a rescan that sees both.
-            prefix = entry.parent
-            if prefix_sig_before is not None and \
-                    self._prefix_signatures.get(prefix) == prefix_sig_before:
-                try:
-                    self._prefix_signatures[prefix] = prefix.stat().st_mtime_ns
-                except OSError:
-                    self._prefix_signatures.pop(prefix, None)
-
-    def _note_use(self, path: Path) -> None:
-        """Track a refreshed mtime so pruning sees the entry as recent."""
-        if self._index is None:
-            return
-        record = self._index.get(path.parent.parent, {}).get(path.parent)
-        if record is not None:
-            try:
-                record[0] = max(record[0], os.stat(path).st_mtime)
-            except OSError:
-                pass
-
-    def _scan_entry(self, entry: Path) -> Optional[List]:
-        newest, total = 0.0, 0
-        try:
-            for item in entry.iterdir():
-                stat = item.stat()
-                newest = max(newest, stat.st_mtime)
-                total += stat.st_size
-        except OSError:
-            return None
-        return [newest, total]
-
-    def _rescan_prefix(self, prefix: Path) -> None:
-        assert self._index is not None
-        try:
-            signature = prefix.stat().st_mtime_ns
-        except OSError:
-            signature = None
-        bucket: Dict[Path, List] = {}
-        try:
-            children = [child for child in prefix.iterdir() if child.is_dir()]
-        except OSError:
-            children = []
-        for entry in children:
-            record = self._scan_entry(entry)
-            if record is not None:
-                bucket[entry] = record
-        self._index[prefix] = bucket
-        if signature is not None:
-            self._prefix_signatures[prefix] = signature
-        else:
-            self._prefix_signatures.pop(prefix, None)
-
-    def _refresh_index(self) -> None:
-        """Build the index on first use; afterwards rescan only prefixes
-        whose mtime changed (external entry creation or deletion)."""
-        try:
-            prefixes = [child for child in self.root.iterdir() if child.is_dir()]
-        except OSError:
-            prefixes = []
-        if self._index is None:
-            self._index = {}
-            self._prefix_signatures = {}
-            for prefix in prefixes:
-                self._rescan_prefix(prefix)
-            return
-        current = set(prefixes)
-        for prefix in prefixes:
-            try:
-                signature = prefix.stat().st_mtime_ns
-            except OSError:
-                continue
-            if self._prefix_signatures.get(prefix) != signature:
-                self._rescan_prefix(prefix)
-        for prefix in list(self._index):
-            if prefix not in current:
-                self._index.pop(prefix, None)
-                self._prefix_signatures.pop(prefix, None)
-
-    def entry_inventory(self) -> List[Tuple[float, int, Path]]:
-        """Every entry directory as ``(newest_mtime, total_bytes, path)``.
-
-        Served from the incrementally maintained index — one full scan
-        on first use, O(prefix-dir stats) afterwards.  Entries deleted
-        by a concurrent pruner may linger until their prefix is
-        rescanned — the inventory is advisory, never load-bearing.
-        """
-        self._refresh_index()
-        assert self._index is not None
-        return [(record[0], record[1], entry)
-                for bucket in self._index.values()
-                for entry, record in bucket.items()]
-
-    def total_bytes(self) -> int:
-        """Bytes currently held by every entry of the store."""
-        return sum(size for _, size, _ in self.entry_inventory())
-
-    def prune_to_limit(self) -> int:
-        """Delete oldest entries until the store fits ``limit_bytes``.
-
-        Returns the number of entries removed (also accumulated into
-        ``stats.pruned``).  A ``None`` budget is a no-op.  Eviction is
-        whole-entry: a half-deleted sharded entry would silently degrade
-        into per-shard recomputation anyway, but removing the directory
-        atomically-ish keeps the accounting simple and the common case
-        (monolithic entries) clean.
-        """
-        if self.limit_bytes is None:
-            return 0
-        inventory = sorted(self.entry_inventory())
-        total = sum(size for _, size, _ in inventory)
-        removed = 0
-        for _, size, entry in inventory:
-            if total <= self.limit_bytes:
-                break
-            shutil.rmtree(entry, ignore_errors=True)
-            if self._index is not None:
-                self._index.get(entry.parent, {}).pop(entry, None)
-            # The rmtree changed the prefix mtime; the recorded signature
-            # is deliberately left stale so the next refresh rescans the
-            # prefix — that also surfaces any concurrent writer's entries.
-            total -= size
-            removed += 1
-        self.stats.pruned += removed
-        return removed
+    })
 
 
 # --------------------------------------------------------------------- #

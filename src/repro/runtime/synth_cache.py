@@ -1,0 +1,218 @@
+"""Persistent content-addressed cache of synthesized designs.
+
+A design-space sweep synthesizes the same (entry, width, options)
+triples on every cold run — and, worse, in *every worker process* of a
+multiprocess run, because the in-memory design cache is per-process.
+This module persists the synthesis flow's output the same way
+:mod:`repro.runtime.cache` persists characterization results:
+
+* :func:`synth_digest` derives a stable SHA-256 key from the *synthesis
+  identity* of a job — the design entry, the target width, the
+  :class:`~repro.synth.flow.SynthesisOptions` (with the technology
+  library keyed by value and the variation seed normalised away when
+  ``variation_sigma == 0``) and the library version.  The trace, clock
+  plan, simulator and engine are deliberately excluded: they do not
+  influence the synthesized design, and jobs differing only in them
+  must share one entry.
+* :class:`SynthesisCache` stores the whole pickled
+  :class:`~repro.synth.flow.SynthesizedDesign` — optimized netlist,
+  delay annotation, sizing result and reports — through the shared
+  :class:`~repro.runtime.store.ResultStore` machinery, inheriting its
+  atomic writes, corruption-as-miss loads and LRU byte budget.
+* :func:`active_synth_cache` is the process-wide activation point,
+  driven by ``REPRO_SYNTH_CACHE`` (cache directory) and
+  ``REPRO_SYNTH_CACHE_LIMIT_MB`` (optional byte budget).
+  :func:`configure_synth_cache` activates it programmatically and — by
+  default — exports the environment variables so multiprocess workers
+  spawned later inherit the same cache directory.
+
+:func:`repro.runtime.jobs.synthesize_job` is the single integration
+point: every backend (serial, multiprocess workers, the planner's
+grouped path and the caching backend's miss path) synthesizes through
+it, so one on-disk entry serves them all.  The in-memory design cache
+remains a read-through layer above this one — a disk hit is memoised
+per process and never re-read.
+
+Designs synthesized with ``variation_sigma > 0`` and a non-integer
+variation seed are silently *not* cached (the draw is irreproducible,
+so an entry could never be validated); everything else is.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro._version import __version__
+from repro.exceptions import ConfigurationError
+from repro.runtime.store import (
+    CacheStats,
+    ResultStore,
+    _canonical,
+    _canonical_synthesis,
+    digest_of,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.designs import DesignEntry
+    from repro.synth.flow import SynthesisOptions, SynthesizedDesign
+
+#: Environment variable naming the synthesis-cache directory; unset or
+#: empty disables the cache.
+SYNTH_CACHE_ENV = "REPRO_SYNTH_CACHE"
+
+#: Environment variable bounding the synthesis cache in mebibytes.
+SYNTH_CACHE_LIMIT_ENV = "REPRO_SYNTH_CACHE_LIMIT_MB"
+
+#: Bumped whenever the synthesized-design payload layout changes; old
+#: entries then key differently and are silently recomputed.
+SYNTH_CACHE_FORMAT = 1
+
+
+def cacheable(options: "SynthesisOptions") -> bool:
+    """Whether a design synthesized with ``options`` may be cached.
+
+    An irreproducible variation draw (positive sigma with a non-integer
+    seed) cannot be keyed — the cache silently bypasses it rather than
+    failing the run.
+    """
+    return options.variation_sigma == 0 or isinstance(options.variation_seed, int)
+
+
+def synth_digest(entry: "DesignEntry", width: int,
+                 options: "SynthesisOptions") -> str:
+    """Stable content digest of one design's synthesis identity.
+
+    Keyed like :func:`~repro.runtime.cache.job_digest` but covering only
+    what determines the synthesized design: the entry, the width, the
+    synthesis options (library by value, variation seed normalised when
+    ``variation_sigma == 0``) and the library version.
+    """
+    return digest_of({
+        "format": SYNTH_CACHE_FORMAT,
+        "library_version": __version__,
+        "entry": _canonical(entry),
+        "width": width,
+        "synthesis": _canonical_synthesis(options),
+    })
+
+
+class SynthesisCache:
+    """On-disk synthesized-design cache over a :class:`ResultStore`.
+
+    One entry per :func:`synth_digest`, holding the pickled
+    :class:`~repro.synth.flow.SynthesizedDesign`.  All the durability
+    properties of the store apply: concurrent writers publish complete
+    files atomically, corrupt entries are discarded and recomputed, and
+    ``limit_mb`` keeps the store on an LRU byte budget.
+    """
+
+    def __init__(self, root, limit_mb: Optional[float] = None) -> None:
+        if limit_mb is not None and limit_mb <= 0:
+            raise ConfigurationError(
+                f"synthesis cache limit_mb must be positive, got {limit_mb}")
+        self.stats = CacheStats()
+        limit_bytes = None if limit_mb is None else max(int(limit_mb * 1024 * 1024), 1)
+        self.store = ResultStore(root, stats=self.stats, limit_bytes=limit_bytes)
+
+    # ------------------------------------------------------------------ #
+    def load(self, entry: "DesignEntry", width: int,
+             options: "SynthesisOptions") -> Optional["SynthesizedDesign"]:
+        """The cached design, or ``None`` on a miss (counted) or when
+        ``options`` is not cacheable (not counted)."""
+        if not cacheable(options):
+            return None
+        digest = synth_digest(entry, width, options)
+        payload = self.store.load(self.store.result_path(digest))
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        self.stats.misses += 1
+        return None
+
+    def store_design(self, entry: "DesignEntry", width: int,
+                     options: "SynthesisOptions",
+                     synthesized: "SynthesizedDesign") -> None:
+        """Persist one synthesized design (no-op when not cacheable),
+        then enforce the byte budget."""
+        if not cacheable(options):
+            return
+        digest = synth_digest(entry, width, options)
+        self.store.store(self.store.result_path(digest), synthesized)
+        self.store.write_meta(digest, {
+            "design": entry.name,
+            "width": width,
+            "gates": synthesized.netlist.num_gates,
+            "library_version": __version__,
+        })
+        self.store.prune_to_limit()
+
+
+# --------------------------------------------------------------------- #
+# Process-wide activation
+# --------------------------------------------------------------------- #
+_ACTIVE: Optional[SynthesisCache] = None
+_ACTIVE_KEY: Optional[tuple] = None
+
+
+def active_synth_cache() -> Optional[SynthesisCache]:
+    """The process-wide cache named by ``REPRO_SYNTH_CACHE``, or ``None``.
+
+    The instance is rebuilt whenever the environment changes, so worker
+    processes (which inherit the exported environment) and tests (which
+    monkeypatch it) both see the right cache without explicit plumbing.
+    """
+    global _ACTIVE, _ACTIVE_KEY
+    root = os.environ.get(SYNTH_CACHE_ENV, "").strip()
+    if not root:
+        _ACTIVE, _ACTIVE_KEY = None, None
+        return None
+    raw_limit = os.environ.get(SYNTH_CACHE_LIMIT_ENV, "").strip()
+    limit_mb: Optional[float] = None
+    if raw_limit:
+        try:
+            limit_mb = float(raw_limit)
+        except ValueError:
+            raise ConfigurationError(
+                f"{SYNTH_CACHE_LIMIT_ENV} must be a number of mebibytes, "
+                f"got {raw_limit!r}")
+        if limit_mb <= 0:
+            raise ConfigurationError(
+                f"{SYNTH_CACHE_LIMIT_ENV} must be positive, got {raw_limit!r}")
+    key = (root, limit_mb)
+    if _ACTIVE is None or _ACTIVE_KEY != key:
+        _ACTIVE = SynthesisCache(root, limit_mb=limit_mb)
+        _ACTIVE_KEY = key
+    return _ACTIVE
+
+
+def configure_synth_cache(root, limit_mb: Optional[float] = None,
+                          export_env: bool = True) -> Optional[SynthesisCache]:
+    """Activate (or with a falsy ``root``, deactivate) the synthesis cache.
+
+    With ``export_env`` (the default) the configuration is also written
+    to the process environment, so multiprocess workers spawned later
+    activate the same cache directory.
+    """
+    global _ACTIVE, _ACTIVE_KEY
+    if not root:
+        if export_env:
+            os.environ.pop(SYNTH_CACHE_ENV, None)
+            os.environ.pop(SYNTH_CACHE_LIMIT_ENV, None)
+        _ACTIVE, _ACTIVE_KEY = None, None
+        return None
+    if export_env:
+        os.environ[SYNTH_CACHE_ENV] = str(root)
+        if limit_mb is None:
+            os.environ.pop(SYNTH_CACHE_LIMIT_ENV, None)
+        else:
+            os.environ[SYNTH_CACHE_LIMIT_ENV] = repr(limit_mb)
+    _ACTIVE = SynthesisCache(root, limit_mb=limit_mb)
+    _ACTIVE_KEY = (str(root), limit_mb)
+    return _ACTIVE
+
+
+def reset_synth_cache() -> None:
+    """Drop the process-wide instance (tests; the env decides the next one)."""
+    global _ACTIVE, _ACTIVE_KEY
+    _ACTIVE, _ACTIVE_KEY = None, None

@@ -26,6 +26,7 @@ from repro.synth.optimize import optimize
 from repro.synth.sizing import SizingOptions, SizingResult, size_to_constraint
 from repro.timing.clocking import PAPER_SAFE_PERIOD
 from repro.timing.sta import TimingReport, analyze_timing
+from repro.utils.phases import phase
 from repro.utils.rng import SeedLike, ensure_rng
 
 DesignSpec = Union[ISAConfig, Netlist]
@@ -156,7 +157,8 @@ def synthesize(design: DesignSpec, options: Optional[SynthesisOptions] = None) -
     library = options.resolved_library()
     netlist, config = _materialise(design, options)
     if options.enable_optimization:
-        netlist = optimize(netlist)
+        with phase("synth.optimize"):
+            netlist = optimize(netlist)
     netlist_report = check_netlist(netlist)
 
     sizing_result: Optional[SizingResult] = None
@@ -165,7 +167,8 @@ def synthesize(design: DesignSpec, options: Optional[SynthesisOptions] = None) -
             clock_constraint=options.clock_constraint,
             slack_utilization=options.slack_utilization,
             fixup_iterations=options.fixup_iterations)
-        sizing_result = size_to_constraint(netlist, library, sizing_options)
+        with phase("synth.sizing"):
+            sizing_result = size_to_constraint(netlist, library, sizing_options)
         annotation = sizing_result.annotation
     else:
         annotation = DelayAnnotation.nominal(netlist, library,
@@ -173,7 +176,9 @@ def synthesize(design: DesignSpec, options: Optional[SynthesisOptions] = None) -
 
     annotation = _apply_variation(netlist, annotation, options.variation_sigma,
                                   options.variation_seed)
-    timing_report = analyze_timing(netlist, annotation, clock_period=options.clock_constraint)
+    with phase("synth.sta"):
+        timing_report = analyze_timing(netlist, annotation,
+                                       clock_period=options.clock_constraint)
 
     return SynthesizedDesign(
         name=netlist.name,

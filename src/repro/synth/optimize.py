@@ -14,15 +14,23 @@ for the timing behaviour of the paper's designs:
   (e.g. the carry-out chain of a speculative segment whose COMP block is
   absent).
 
-``optimize`` runs both until the netlist stops shrinking.
+``optimize`` runs both until the netlist stops shrinking.  By default it
+drives the passes over an integer-indexed in-memory view of the netlist
+(:class:`_IndexedDesign`) with path-compressed alias resolution,
+materialising a real :class:`~repro.circuit.netlist.Netlist` only once at
+the end; ``vector=False`` / ``REPRO_SYNTH_VECTOR=0`` selects the original
+netlist-per-pass reference path instead.  Both paths share the
+simplification table and the fresh-name allocator, and produce
+gate-identical netlists (enforced by ``tests/test_synth_vector.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist
 from repro.exceptions import NetlistError
+from repro.utils.vector import use_vector
 
 #: Returned by the simplifier: either a constant, an alias to another net,
 #: or a (possibly rewritten) gate.
@@ -30,9 +38,18 @@ _Simplified = Tuple[str, object]
 
 
 def _resolve(net: str, alias: Dict[str, str]) -> str:
-    while net in alias:
-        net = alias[net]
-    return net
+    """Resolve a net through the alias map, compressing the walked path.
+
+    Deep speculative segments can build long alias chains (a wire of
+    wires of wires); pointing every visited net directly at the root
+    keeps later lookups amortised O(1) instead of O(chain).
+    """
+    root = net
+    while root in alias:
+        root = alias[root]
+    while net != root:
+        alias[net], net = root, alias[net]
+    return root
 
 
 def _const_of(net: str) -> Optional[int]:
@@ -43,20 +60,21 @@ def _const_of(net: str) -> Optional[int]:
     return None
 
 
-def _simplify(cell: str, inputs: List[str]) -> _Simplified:
-    """Simplify one gate whose inputs may be constant nets.
+def _simplify(cell: str, inputs: List[object], values: List[Optional[int]]) -> _Simplified:
+    """Simplify one gate given its input tokens and their constant values.
 
-    Returns ``("const", 0/1)``, ``("alias", net)`` or
-    ``("gate", (cell, inputs))``.
+    ``inputs`` are opaque tokens (net names on the reference path, net IDs
+    on the indexed path); ``values[i]`` is 0/1 when token ``i`` is a
+    constant, else ``None``.  Returns ``("const", 0/1)``,
+    ``("alias", token)`` or ``("gate", (cell, tokens))`` where a token may
+    be wrapped in :class:`_Inverted`.
     """
-    values = [_const_of(net) for net in inputs]
-
     if all(value is not None for value in values):
         from repro.circuit.cells import cell as cell_lookup
         result = int(cell_lookup(cell).evaluate(*values))
         return ("const", result)
 
-    def gate(new_cell: str, *nets: str) -> _Simplified:
+    def gate(new_cell: str, *nets: object) -> _Simplified:
         return ("gate", (new_cell, list(nets)))
 
     if cell == "BUF":
@@ -179,24 +197,54 @@ def _simplify(cell: str, inputs: List[str]) -> _Simplified:
     return ("gate", (cell, list(inputs)))
 
 
-class _InvertMarker(str):
-    """Sentinel wrapper signalling that a net must be inverted before use."""
+class _Inverted:
+    """Sentinel wrapper signalling that a token must be inverted before use."""
+
+    __slots__ = ("net",)
+
+    def __init__(self, net: object) -> None:
+        self.net = net
 
 
-def _invert_marker(net: str) -> str:
-    return _InvertMarker(net)
+def _invert_marker(net: object) -> _Inverted:
+    return _Inverted(net)
+
+
+def _fresh_inverter_names(gate_name: str, output_net: str, pin: int,
+                          taken_gates: Set[str], taken_nets: Set[str]
+                          ) -> Tuple[str, str]:
+    """Collision-free (gate name, net name) for an expanded inverter.
+
+    The natural ``{output_net}_inv_{pin}`` can collide with a net that
+    already exists in the design (nothing stops a generator from naming a
+    net that way); serial suffixes disambiguate.  Claims the names in the
+    ``taken`` sets so one pass never mints the same name twice.
+    """
+    fresh_gate = f"{gate_name}_inv_{pin}"
+    fresh_net = f"{output_net}_inv_{pin}"
+    serial = 1
+    while fresh_net in taken_nets or fresh_gate in taken_gates:
+        fresh_gate = f"{gate_name}_inv_{pin}_{serial}"
+        fresh_net = f"{output_net}_inv_{pin}_{serial}"
+        serial += 1
+    taken_gates.add(fresh_gate)
+    taken_nets.add(fresh_net)
+    return fresh_gate, fresh_net
 
 
 def propagate_constants(netlist: Netlist) -> Netlist:
     """Fold constants and simplify gates, returning a new netlist."""
     alias: Dict[str, str] = {}
     new = Netlist(netlist.name)
+    taken_nets = set(netlist.nets)
+    taken_gates = {gate.name for gate in netlist.gates}
     for net in netlist.inputs:
         new.add_input(net)
 
     for gate in netlist.topological_order():
         resolved = [_resolve(net, alias) for net in gate.inputs]
-        kind, payload = _simplify(gate.cell, resolved)
+        kind, payload = _simplify(gate.cell, resolved,
+                                  [_const_of(net) for net in resolved])
         if kind == "const":
             alias[gate.output] = CONST1 if payload else CONST0
             continue
@@ -206,9 +254,11 @@ def propagate_constants(netlist: Netlist) -> Netlist:
         cell_name, cell_inputs = payload
         final_inputs: List[str] = []
         for net in cell_inputs:
-            if isinstance(net, _InvertMarker):
-                inverted = new.add_gate(f"{gate.name}_inv_{len(final_inputs)}", "INV",
-                                        [str(net)], f"{gate.output}_inv_{len(final_inputs)}")
+            if isinstance(net, _Inverted):
+                inv_gate, inv_net = _fresh_inverter_names(
+                    gate.name, gate.output, len(final_inputs),
+                    taken_gates, taken_nets)
+                inverted = new.add_gate(inv_gate, "INV", [net.net], inv_net)
                 final_inputs.append(inverted.output)
             else:
                 final_inputs.append(net)
@@ -241,8 +291,140 @@ def prune_unused(netlist: Netlist) -> Netlist:
     return new
 
 
-def optimize(netlist: Netlist, max_passes: int = 4) -> Netlist:
-    """Run constant propagation and pruning until the netlist stops shrinking."""
+# --------------------------------------------------------------------- #
+# Indexed (vectorized) optimisation pipeline
+# --------------------------------------------------------------------- #
+class _IndexedDesign:
+    """A netlist lowered to integer net IDs for the in-place passes.
+
+    IDs follow the levelisation scheme shared with the timing kernels:
+    ``const0`` = 0, ``const1`` = 1, inputs, then every further net in
+    creation order.  Gates are mutable ``[name, cell, input IDs, output
+    ID]`` records; aliasing is a path-compressed forest over an ID-indexed
+    list, so no per-pass netlist object or dict-of-strings chasing is
+    needed until :meth:`materialise` builds the final result.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.name = netlist.name
+        self.inputs = list(netlist.inputs)
+        self.net_names: List[str] = []
+        self.net_id: Dict[str, int] = {}
+        #: alias[i] == i means net i is its own root.
+        self.alias: List[int] = []
+        for name in (CONST0, CONST1, *self.inputs):
+            self.intern(name)
+        self.gates: List[list] = []
+        for gate in netlist.topological_order():
+            input_ids = [self.net_id[net] for net in gate.inputs]
+            self.gates.append([gate.name, gate.cell, input_ids,
+                               self.intern(gate.output)])
+        self.output_ids = [self.net_id[net] for net in netlist.outputs]
+        self.bus_ids = {bus: [self.net_id[net] for net in nets]
+                        for bus, nets in netlist.buses.items()}
+
+    def intern(self, name: str) -> int:
+        """The ID of ``name``, allocating a fresh unaliased one if new."""
+        net_id = self.net_id.get(name)
+        if net_id is None:
+            net_id = self.net_id[name] = len(self.net_names)
+            self.net_names.append(name)
+            self.alias.append(net_id)
+        return net_id
+
+    def resolve(self, net_id: int) -> int:
+        """Root of ``net_id`` in the alias forest, with path compression."""
+        alias = self.alias
+        root = alias[net_id]
+        while alias[root] != root:
+            root = alias[root]
+        while alias[net_id] != root:
+            alias[net_id], net_id = root, alias[net_id]
+        return root
+
+    def materialise(self) -> Netlist:
+        """Build the real netlist for the current gate list."""
+        new = Netlist(self.name)
+        names = self.net_names
+        for net in self.inputs:
+            new.add_input(net)
+        # The pass invariants (collision-checked names, topological gate
+        # order, inputs resolved to live nets) are exactly what add_gate
+        # would re-check per gate; install in bulk instead.
+        new.install_gates([
+            (name, cell_name, tuple(names[net] for net in input_ids),
+             names[output_id])
+            for name, cell_name, input_ids, output_id in self.gates])
+        for net in self.output_ids:
+            new.add_output(names[net])
+        for bus, nets in self.bus_ids.items():
+            new.register_bus(bus, [names[net] for net in nets])
+        return new
+
+
+def _propagate_pass(design: _IndexedDesign) -> None:
+    """One constant-propagation sweep over the indexed design (in place)."""
+    resolve = design.resolve
+    names = design.net_names
+    taken_nets = {names[0], names[1], *design.inputs}
+    taken_nets.update(names[record[3]] for record in design.gates)
+    taken_gates = {record[0] for record in design.gates}
+    alias = design.alias
+    new_gates: List[list] = []
+    for record in design.gates:
+        name, cell_name, input_ids, output_id = record
+        resolved = [resolve(net) for net in input_ids]
+        # Fast path: no constant inputs and no possible structural rewrite
+        # means _simplify provably returns the gate unchanged.
+        if (min(resolved) > 1 and cell_name != "BUF"
+                and not (cell_name == "MUX2" and resolved[0] == resolved[1])):
+            record[2] = resolved
+            new_gates.append(record)
+            continue
+        values = [net if net < 2 else None for net in resolved]
+        kind, payload = _simplify(cell_name, resolved, values)
+        if kind == "const":
+            alias[output_id] = 1 if payload else 0
+            continue
+        if kind == "alias":
+            alias[output_id] = resolve(payload)
+            continue
+        new_cell, cell_inputs = payload
+        final_inputs: List[int] = []
+        for token in cell_inputs:
+            if isinstance(token, _Inverted):
+                inv_gate, inv_net = _fresh_inverter_names(
+                    name, names[output_id], len(final_inputs),
+                    taken_gates, taken_nets)
+                inv_id = design.intern(inv_net)
+                new_gates.append([inv_gate, "INV", [token.net], inv_id])
+                final_inputs.append(inv_id)
+            else:
+                final_inputs.append(token)
+        new_gates.append([name, new_cell, final_inputs, output_id])
+    design.gates = new_gates
+    design.output_ids = [resolve(net) for net in design.output_ids]
+    design.bus_ids = {bus: [resolve(net) for net in nets]
+                      for bus, nets in design.bus_ids.items()}
+
+
+def _prune_pass(design: _IndexedDesign) -> None:
+    """Drop gates no primary output depends on (in place)."""
+    needed = bytearray(len(design.net_names))
+    for net in design.output_ids:
+        needed[net] = 1
+    kept: List[bool] = []
+    for record in reversed(design.gates):
+        keep = bool(needed[record[3]])
+        if keep:
+            for net in record[2]:
+                needed[net] = 1
+        kept.append(keep)
+    kept.reverse()
+    design.gates = [record for record, keep in zip(design.gates, kept) if keep]
+
+
+def _optimize_reference(netlist: Netlist, max_passes: int) -> Netlist:
     current = netlist
     for _ in range(max_passes):
         before = current.num_gates
@@ -250,3 +432,18 @@ def optimize(netlist: Netlist, max_passes: int = 4) -> Netlist:
         if current.num_gates >= before:
             break
     return current
+
+
+def optimize(netlist: Netlist, max_passes: int = 4,
+             vector: Optional[bool] = None) -> Netlist:
+    """Run constant propagation and pruning until the netlist stops shrinking."""
+    if not use_vector(vector):
+        return _optimize_reference(netlist, max_passes)
+    design = _IndexedDesign(netlist)
+    for _ in range(max_passes):
+        before = len(design.gates)
+        _propagate_pass(design)
+        _prune_pass(design)
+        if len(design.gates) >= before:
+            break
+    return design.materialise()

@@ -28,12 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.circuit.library import TechnologyLibrary
 from repro.circuit.netlist import Netlist
 from repro.circuit.sdf import DelayAnnotation
-from repro.exceptions import SynthesisError
-from repro.timing.sta import analyze_timing, gate_slacks, path_gate_counts
+from repro.exceptions import SynthesisError, TimingError
+from repro.timing.sta import analyze_timing, gate_slacks, path_gate_counts, timing_table
 from repro.utils.validation import check_probability
+from repro.utils.vector import use_vector, vector_override
 
 
 @dataclass(frozen=True)
@@ -86,8 +89,89 @@ class SizingResult:
 
 def size_to_constraint(netlist: Netlist, library: TechnologyLibrary,
                        options: SizingOptions,
-                       initial: Optional[DelayAnnotation] = None) -> SizingResult:
-    """Size ``netlist`` to ``options.clock_constraint`` and return the annotation."""
+                       initial: Optional[DelayAnnotation] = None,
+                       vector: Optional[bool] = None) -> SizingResult:
+    """Size ``netlist`` to ``options.clock_constraint`` and return the annotation.
+
+    The allocation and fix-up passes run either as levelised NumPy array
+    sweeps (the default) or as the original per-gate reference loops
+    (``vector=False`` / ``REPRO_SYNTH_VECTOR=0``); the two are
+    bit-identical (see :mod:`repro.timing.sta`).
+    """
+    if use_vector(vector) and netlist.num_gates:
+        with vector_override(True):
+            return _size_to_constraint_vector(netlist, library, options, initial)
+    with vector_override(False):
+        return _size_to_constraint_reference(netlist, library, options, initial)
+
+
+def _size_to_constraint_vector(netlist: Netlist, library: TechnologyLibrary,
+                               options: SizingOptions,
+                               initial: Optional[DelayAnnotation]) -> SizingResult:
+    annotation = (initial.copy() if initial is not None
+                  else DelayAnnotation.nominal(netlist, library))
+    annotation.clock_constraint = options.clock_constraint
+    # Same checks and values analyze_timing performs for the reference
+    # path's nominal report, without building the report's path walk.
+    annotation.validate_against(netlist)
+    if not netlist.outputs:
+        raise TimingError(f"netlist {netlist.name!r} has no primary outputs")
+    nominal_total = annotation.total_delay()
+
+    table = timing_table(netlist)
+    num_gates = len(table.order)
+    lows = np.empty(num_gates, dtype=np.float64)
+    highs = np.empty(num_gates, dtype=np.float64)
+    cell_timings: Dict[str, tuple] = {}
+    for index, gate in enumerate(table.order):
+        timing = cell_timings.get(gate.cell)
+        if timing is None:
+            cell = library.timing(gate.cell)
+            timing = cell_timings[gate.cell] = (cell.min_delay, cell.max_delay)
+        lows[index], highs[index] = timing
+
+    shares = np.maximum(table.path_counts(), 1).astype(np.float64)
+    target = options.clock_constraint
+    tolerance = options.slack_tolerance
+    delays = table.delay_array(annotation)
+    arrival = table.arrival_array(delays)
+    nominal_delay = float(arrival[table.output_ids].max())
+
+    # Pass 1 (allocation), same arithmetic as the reference per-gate loop.
+    required = table.required_array(delays, target)
+    slacks = required[table.out_ids] - arrival[table.out_ids]
+    slowed = np.minimum(delays + options.slack_utilization * slacks / shares, highs)
+    sped = np.maximum(delays + slacks / shares, lows)
+    delays = np.where(slacks > tolerance, slowed,
+                      np.where(slacks < -tolerance, sped, delays))
+
+    # Fix-up passes: repair remaining violations only.
+    for _ in range(options.fixup_iterations):
+        slacks = table.slack_array(delays, target)
+        worst = slacks.min() if slacks.size else 0.0
+        if worst >= -tolerance:
+            break
+        repaired = np.maximum(delays + slacks / shares, lows)
+        delays = np.where(slacks < -tolerance, repaired, delays)
+
+    for gate, delay in zip(table.order, delays.tolist()):
+        annotation.set_delay(gate.name, delay)
+
+    sized_delay = float(table.arrival_array(delays)[table.output_ids].max())
+    return SizingResult(
+        annotation=annotation,
+        nominal_critical_path=nominal_delay,
+        sized_critical_path=sized_delay,
+        clock_constraint=target,
+        met_constraint=sized_delay <= target + options.slack_tolerance,
+        nominal_total_delay=nominal_total,
+        sized_total_delay=annotation.total_delay(),
+    )
+
+
+def _size_to_constraint_reference(netlist: Netlist, library: TechnologyLibrary,
+                                  options: SizingOptions,
+                                  initial: Optional[DelayAnnotation]) -> SizingResult:
     annotation = (initial.copy() if initial is not None
                   else DelayAnnotation.nominal(netlist, library))
     annotation.clock_constraint = options.clock_constraint

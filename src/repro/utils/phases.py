@@ -9,6 +9,12 @@ or sweep metrics).  The ``--timings`` flag of ``repro-experiments`` and
 ``repro-explore`` prints the breakdown, so a performance investigation
 can name the hot phase without a profiler.
 
+Dotted names are *sub-phases*: ``synth.optimize``, ``synth.sizing`` and
+``synth.sta`` break the synthesis flow down into its passes.  They are
+reported alongside the top-level phases but excluded from
+:meth:`PhaseTimes.total` — their time already lives inside their parent
+phase, and counting it twice would overstate the attributed total.
+
 Timing is opt-in and close to free when off: :func:`phase` reads one
 module global and yields immediately unless a collector installed by
 :func:`collect_phases` is active.  Phases are recorded in the process
@@ -23,8 +29,10 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
-#: Canonical report order of the pipeline phases.
-PHASES = ("synthesize", "lower", "pack", "simulate", "score")
+#: Canonical report order of the pipeline phases (dotted names are
+#: sub-phases nested inside the phase before them).
+PHASES = ("synthesize", "synth.optimize", "synth.sizing", "synth.sta",
+          "lower", "pack", "simulate", "score")
 
 _ACTIVE: Optional["PhaseTimes"] = None
 
@@ -42,8 +50,13 @@ class PhaseTimes:
         self.calls[name] = self.calls.get(name, 0) + 1
 
     def total(self) -> float:
-        """Sum of every attributed phase (not the end-to-end wall time)."""
-        return sum(self.seconds.values())
+        """Sum of every attributed top-level phase.
+
+        Dotted sub-phases (``synth.*``) are excluded — their time is
+        already inside their parent phase.
+        """
+        return sum(elapsed for name, elapsed in self.seconds.items()
+                   if "." not in name)
 
     def describe(self, order: Sequence[str] = PHASES) -> str:
         """Footer-ready one-line breakdown, canonical phases first."""

@@ -16,6 +16,21 @@ from repro.timing.clocking import ClockPlan
 from repro.workloads.generators import uniform_workload
 
 
+@pytest.fixture(autouse=True)
+def _fresh_design_cache():
+    """Isolate the process-wide synthesized-design memo between tests.
+
+    ``synthesize_job`` memoises per synthesis identity, so without this
+    a test asserting that synthesis *ran* (phase counters, cache
+    hit/miss accounting) would observe another test's warm memo.
+    """
+    from repro.runtime.jobs import clear_design_cache
+    from repro.runtime.synth_cache import reset_synth_cache
+    clear_design_cache()
+    reset_synth_cache()
+    yield
+
+
 @pytest.fixture(scope="session")
 def rng():
     """Deterministic random generator shared by the tests."""

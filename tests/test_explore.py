@@ -321,6 +321,7 @@ class TestExploreCli:
 
     def test_uncached_run_reports_no_cache(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SYNTH_CACHE", raising=False)
         output = tmp_path / "plain.txt"
         assert explore_main(["--width", "16", "--max-designs", "2", "--length", "64",
                              "--no-cache", "--output", str(output)]) == 0

@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import Netlist
 from repro.circuit.validate import check_netlist
 from repro.synth.adders import kogge_stone_adder
 from repro.synth.optimize import optimize, propagate_constants, prune_unused
+from repro.utils.vector import vector_override
 
 
 def _truth_table(netlist, input_names):
@@ -72,6 +74,84 @@ class TestPropagateConstants:
                 original = builder.build()
                 optimised = propagate_constants(original)
                 assert _truth_table(original, names) == _truth_table(optimised, names)
+
+
+def _mux_with_constant_data(taken_net=None, taken_gate=None):
+    """A MUX2 whose constant data input expands to an inverter named
+    ``m_inv_1`` driving ``y_inv_1`` — with optional squatters on those
+    names to force the collision path."""
+    netlist = Netlist("t")
+    netlist.add_input("a")
+    netlist.add_input("s")
+    if taken_net is not None:
+        netlist.add_input(taken_net)
+    if taken_gate is not None:
+        netlist.add_gate(taken_gate, "INV", ["s"], f"{taken_gate}_out")
+    # MUX2(a, 0, s) simplifies to AND2(a, NOT s): the inverter on the
+    # select is minted during expansion.
+    netlist.add_gate("m", "MUX2", ["a", "const0", "s"], "y")
+    netlist.add_output("y")
+    if taken_gate is not None:
+        netlist.add_output(f"{taken_gate}_out")
+    if taken_net is not None:
+        netlist.add_output(taken_net)
+    return netlist
+
+
+class TestInverterExpansionNaming:
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_net_name_collision_gets_fresh_name(self, vector):
+        # A primary input already owns the natural inverter net name;
+        # expansion must mint a different one instead of colliding.
+        netlist = _mux_with_constant_data(taken_net="y_inv_1")
+        with vector_override(vector):
+            optimised = optimize(netlist)
+        assert check_netlist(optimised).ok
+        inverters = [g for g in optimised.gates if g.cell == "INV"]
+        assert len(inverters) == 1
+        assert inverters[0].output != "y_inv_1"
+        original = _truth_table(netlist, ["a", "s", "y_inv_1"])
+        assert original == _truth_table(optimised, ["a", "s", "y_inv_1"])
+
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_gate_name_collision_gets_fresh_name(self, vector):
+        # Another gate already owns the natural inverter gate name.
+        netlist = _mux_with_constant_data(taken_gate="m_inv_1")
+        with vector_override(vector):
+            optimised = optimize(netlist)
+        assert check_netlist(optimised).ok
+        minted = [g for g in optimised.gates
+                  if g.cell == "INV" and g.output != "m_inv_1_out"]
+        assert len(minted) == 1
+        assert minted[0].name != "m_inv_1"
+        assert _truth_table(netlist, ["a", "s"]) == \
+            _truth_table(optimised, ["a", "s"])
+
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_collision_free_expansion_keeps_natural_names(self, vector):
+        netlist = _mux_with_constant_data()
+        with vector_override(vector):
+            optimised = optimize(netlist)
+        [inverter] = [g for g in optimised.gates if g.cell == "INV"]
+        assert inverter.name == "m_inv_1"
+        assert inverter.output == "y_inv_1"
+
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_deep_alias_chain_resolves(self, vector):
+        # A long chain of constant-simplified gates exercises the
+        # path-compressed alias resolution.
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        previous = "a"
+        for index in range(64):
+            netlist.add_gate(f"g{index}", "AND2", [previous, "const1"],
+                             f"n{index}")
+            previous = f"n{index}"
+        netlist.add_output(previous)
+        with vector_override(vector):
+            optimised = optimize(netlist)
+        assert optimised.num_gates == 0
+        assert optimised.outputs == ["a"]
 
 
 class TestPruneUnused:

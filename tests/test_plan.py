@@ -320,7 +320,12 @@ class TestPhases:
         text = phases.describe()
         assert "simulate" in text and "score" in text
 
-    def test_planned_run_attributes_phases(self):
+    def test_planned_run_attributes_phases(self, monkeypatch):
+        # A warm persistent synthesis cache (the cache-enabled CI leg)
+        # would legitimately skip the synthesize phase; disable it so
+        # the attribution of a from-scratch run is what is asserted.
+        from repro.runtime.synth_cache import SYNTH_CACHE_ENV
+        monkeypatch.delenv(SYNTH_CACHE_ENV, raising=False)
         jobs = [make_job(length=80, seed=21), make_job(length=80, seed=22)]
         with collect_phases() as phases:
             PlannedBackend(SerialBackend()).run(jobs)
@@ -328,9 +333,14 @@ class TestPhases:
         assert phases.seconds.get("lower", 0) > 0
         assert phases.seconds.get("simulate", 0) > 0
 
-    def test_explore_cli_timings_footer(self, capsys):
+    def test_explore_cli_timings_footer(self, capsys, monkeypatch):
         # backend pinned to serial: phases are recorded in the process
-        # that executes them, so the multiprocess CI leg would see none
+        # that executes them, so the multiprocess CI leg would see none.
+        # A warm shared synthesis or result cache would (correctly)
+        # erase the synthesize phase asserted below, so run uncached.
+        from repro.runtime.synth_cache import SYNTH_CACHE_ENV
+        monkeypatch.delenv(SYNTH_CACHE_ENV, raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         from repro.explore.cli import main
         exit_code = main(["--width", "16", "--max-designs", "4", "--length", "32",
                           "--backend", "serial", "--timings"])

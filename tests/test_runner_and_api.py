@@ -132,6 +132,7 @@ class TestRunnerCli:
 
     def test_no_cache_overrides_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_SYNTH_CACHE", raising=False)
         output = tmp_path / "report.txt"
         assert main(["--scale", "0.05", "--simulator", "fast", "--figures", "fig9",
                      "--no-cache", "--output", str(output)]) == 0

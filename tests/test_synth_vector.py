@@ -1,0 +1,239 @@
+"""Vectorized synthesis kernels vs. the per-gate reference implementations.
+
+The levelised NumPy passes of :mod:`repro.timing.sta`,
+:mod:`repro.synth.sizing` and :mod:`repro.synth.optimize` promise
+*bit-identical* delay annotations and *gate-identical* netlists against
+the original per-gate/per-dict implementations (which remain available
+through ``vector=False`` / ``REPRO_SYNTH_VECTOR=0``).  These tests pin
+that promise across the design space, including seeded variation runs
+and designs that fail their clock constraint.
+"""
+
+import struct
+
+import pytest
+
+from repro.circuit.sdf import DelayAnnotation
+from repro.explore.space import DesignSpace
+from repro.explore.sweep import SweepSpec, run_sweep, sweep_clock_plan
+from repro.runtime.jobs import clear_design_cache
+from repro.synth.adders import kogge_stone_adder
+from repro.synth.flow import SynthesisOptions, exact_adder_netlist, synthesize
+from repro.synth.optimize import optimize
+from repro.synth.sizing import SizingOptions, size_to_constraint
+from repro.timing.sta import (
+    analyze_timing,
+    arrival_times,
+    gate_slacks,
+    path_gate_counts,
+    required_times,
+)
+from repro.utils.vector import vector_override
+from repro.workloads.generators import WorkloadSpec
+
+
+def _entry_netlist(entry, width, options):
+    if entry.is_exact:
+        return exact_adder_netlist(width, options.adder_architecture)
+    from repro.synth.isa_synth import isa_adder
+    return isa_adder(entry.config, sub_adder=options.adder_architecture)
+
+
+def _gate_tuples(netlist):
+    return [(g.name, g.cell, tuple(g.inputs), g.output) for g in netlist.gates]
+
+
+def _bits(values):
+    """Exact byte representation of a float sequence (bit-level compare)."""
+    values = list(values)
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def _assert_dicts_bit_identical(vec, ref):
+    # Same keys in the same insertion order, and bit-equal values.
+    assert list(vec) == list(ref)
+    assert _bits(vec.values()) == _bits(ref.values())
+
+
+def _assert_designs_identical(vec, ref):
+    assert _gate_tuples(vec.netlist) == _gate_tuples(ref.netlist)
+    assert vec.netlist.inputs == ref.netlist.inputs
+    assert vec.netlist.outputs == ref.netlist.outputs
+    ref_delays = {g.name: ref.annotation.delay_of(g.name) for g in ref.netlist.gates}
+    vec_delays = {g.name: vec.annotation.delay_of(g.name) for g in vec.netlist.gates}
+    _assert_dicts_bit_identical(vec_delays, ref_delays)
+    assert _bits([vec.timing_report.critical_path_delay]) == \
+        _bits([ref.timing_report.critical_path_delay])
+    if ref.sizing_result is not None:
+        for name in ("nominal_critical_path", "sized_critical_path",
+                     "nominal_total_delay", "sized_total_delay"):
+            vec_value = getattr(vec.sizing_result, name)
+            ref_value = getattr(ref.sizing_result, name)
+            assert type(vec_value) is type(ref_value)
+            assert _bits([vec_value]) == _bits([ref_value])
+        assert vec.sizing_result.met_constraint == ref.sizing_result.met_constraint
+
+
+# Full quadruple space at width 8; evenly strided sample at width 16.
+WIDTH8_ENTRIES = DesignSpace(width=8).entries()
+WIDTH16_ENTRIES = DesignSpace(width=16).entries(max_designs=24)
+
+
+class TestStaKernels:
+    @pytest.fixture(scope="class")
+    def annotated(self, synthesized_small_isa):
+        design = synthesized_small_isa
+        return design.netlist, design.annotation
+
+    def test_arrival_times_bit_identical(self, annotated):
+        netlist, annotation = annotated
+        with vector_override(True):
+            vec = arrival_times(netlist, annotation)
+        with vector_override(False):
+            ref = arrival_times(netlist, annotation)
+        _assert_dicts_bit_identical(vec, ref)
+
+    def test_required_times_bit_identical(self, annotated):
+        netlist, annotation = annotated
+        for clock in (1e-10, 3e-10, 1e-9):
+            with vector_override(True):
+                vec = required_times(netlist, annotation, clock)
+            with vector_override(False):
+                ref = required_times(netlist, annotation, clock)
+            _assert_dicts_bit_identical(vec, ref)
+
+    def test_gate_slacks_bit_identical(self, annotated):
+        netlist, annotation = annotated
+        with vector_override(True):
+            vec = gate_slacks(netlist, annotation, 3e-10)
+        with vector_override(False):
+            ref = gate_slacks(netlist, annotation, 3e-10)
+        _assert_dicts_bit_identical(vec, ref)
+
+    def test_path_gate_counts_identical(self, annotated):
+        netlist, _ = annotated
+        with vector_override(True):
+            vec = path_gate_counts(netlist)
+        with vector_override(False):
+            ref = path_gate_counts(netlist)
+        assert list(vec) == list(ref)
+        assert list(vec.values()) == list(ref.values())
+
+    def test_analyze_timing_report_identical(self, annotated):
+        netlist, annotation = annotated
+        with vector_override(True):
+            vec = analyze_timing(netlist, annotation, clock_period=3e-10)
+        with vector_override(False):
+            ref = analyze_timing(netlist, annotation, clock_period=3e-10)
+        assert _bits([vec.critical_path_delay]) == _bits([ref.critical_path_delay])
+        assert vec.critical_path_gates == ref.critical_path_gates
+        assert vec.critical_endpoint == ref.critical_endpoint
+        assert _bits([vec.worst_slack]) == _bits([ref.worst_slack])
+        _assert_dicts_bit_identical(vec.output_arrivals, ref.output_arrivals)
+
+
+class TestSizingKernel:
+    @pytest.mark.parametrize("factor", [1.5, 0.93, 0.5])
+    def test_sizing_bit_identical(self, factor, synthesis_options):
+        netlist = kogge_stone_adder(16)
+        library = synthesis_options.resolved_library()
+        nominal = analyze_timing(
+            netlist, DelayAnnotation.nominal(netlist, library)).critical_path_delay
+        options = SizingOptions(clock_constraint=nominal * factor)
+        with vector_override(True):
+            vec = size_to_constraint(netlist, library, options)
+        with vector_override(False):
+            ref = size_to_constraint(netlist, library, options)
+        for name in ("nominal_critical_path", "sized_critical_path",
+                     "nominal_total_delay", "sized_total_delay"):
+            assert _bits([getattr(vec, name)]) == _bits([getattr(ref, name)])
+        assert vec.met_constraint == ref.met_constraint
+        vec_delays = {g.name: vec.annotation.delay_of(g.name) for g in netlist.gates}
+        ref_delays = {g.name: ref.annotation.delay_of(g.name) for g in netlist.gates}
+        _assert_dicts_bit_identical(vec_delays, ref_delays)
+
+    def test_constraint_failing_netlist(self, synthesis_options):
+        # A constraint far below what min_delay cells can reach: the
+        # fix-up passes bottom out and met_constraint is False on both
+        # paths, with identical annotations.
+        netlist = kogge_stone_adder(8)
+        library = synthesis_options.resolved_library()
+        options = SizingOptions(clock_constraint=1e-12)
+        with vector_override(True):
+            vec = size_to_constraint(netlist, library, options)
+        with vector_override(False):
+            ref = size_to_constraint(netlist, library, options)
+        assert vec.met_constraint is False
+        assert ref.met_constraint is False
+        vec_delays = {g.name: vec.annotation.delay_of(g.name) for g in netlist.gates}
+        ref_delays = {g.name: ref.annotation.delay_of(g.name) for g in netlist.gates}
+        _assert_dicts_bit_identical(vec_delays, ref_delays)
+
+
+class TestOptimizeKernel:
+    @pytest.mark.parametrize("entry", WIDTH8_ENTRIES, ids=lambda e: e.name)
+    def test_width8_gate_identical(self, entry, synthesis_options):
+        netlist = _entry_netlist(entry, 8, synthesis_options)
+        with vector_override(True):
+            vec = optimize(netlist)
+        with vector_override(False):
+            ref = optimize(netlist)
+        assert _gate_tuples(vec) == _gate_tuples(ref)
+        assert vec.outputs == ref.outputs
+        assert vec.buses.keys() == ref.buses.keys()
+
+
+class TestFlowEquivalence:
+    @pytest.mark.parametrize("entry", WIDTH16_ENTRIES, ids=lambda e: e.name)
+    def test_width16_synthesize_identical(self, entry, synthesis_options):
+        netlist = _entry_netlist(entry, 16, synthesis_options)
+        with vector_override(True):
+            vec = synthesize(netlist, synthesis_options)
+        with vector_override(False):
+            ref = synthesize(netlist, synthesis_options)
+        _assert_designs_identical(vec, ref)
+
+    def test_seeded_variation_identical(self):
+        options = SynthesisOptions(variation_sigma=0.05, variation_seed=1234)
+        netlist = kogge_stone_adder(16)
+        with vector_override(True):
+            vec = synthesize(netlist, options)
+        with vector_override(False):
+            ref = synthesize(netlist, options)
+        _assert_designs_identical(vec, ref)
+
+    def test_tight_constraint_flow_identical(self):
+        # Flow-level coverage of a design that cannot meet its clock.
+        options = SynthesisOptions(clock_constraint=1e-12)
+        netlist = kogge_stone_adder(8)
+        with vector_override(True):
+            vec = synthesize(netlist, options)
+        with vector_override(False):
+            ref = synthesize(netlist, options)
+        assert vec.sizing_result.met_constraint is False
+        _assert_designs_identical(vec, ref)
+
+
+class TestSweepEquivalence:
+    def test_small_sweep_value_identical(self):
+        entries = tuple(DesignSpace(width=16).entries(max_designs=4))
+        spec = SweepSpec(entries=entries, clock_plan=sweep_clock_plan((0.0, 0.10)),
+                         workloads=(WorkloadSpec("uniform", 128, width=16, seed=3),),
+                         simulator="fast", engine="auto",
+                         synthesis=SynthesisOptions(), width=16)
+        clear_design_cache()
+        with vector_override(False):
+            ref = run_sweep(spec, backend="serial")
+        clear_design_cache()
+        with vector_override(True):
+            vec = run_sweep(spec, backend="serial")
+        assert len(vec.points) == len(ref.points)
+        for vp, rp in zip(vec.points, ref.points):
+            assert vp.design == rp.design
+            assert _bits([vp.clock_period]) == _bits([rp.clock_period])
+            assert _bits([vp.stats.rms_relative_error]) == \
+                _bits([rp.stats.rms_relative_error])
+            assert _bits([vp.stats.error_rate]) == _bits([rp.stats.error_rate])
+            assert _bits([vp.structural_rms]) == _bits([rp.structural_rms])
+            assert _bits([vp.timing_rms]) == _bits([rp.timing_rms])
+            assert vp.cost.gates == rp.cost.gates
