@@ -17,6 +17,11 @@ the *whole* legal configuration space:
 * :mod:`repro.explore.pareto` — aggregation of sweep points into
   Pareto candidates, weak-dominance frontier extraction, ranking, and
   nearest-paper-design annotation.
+* :mod:`repro.explore.adaptive` — surrogate-directed search:
+  :func:`run_adaptive` recovers the Pareto frontier of a space while
+  simulating only a budgeted fraction of it, steering each simulation
+  batch with seeded :class:`~repro.ml.regress.RandomForestRegressor`
+  surrogates fitted on the points measured so far.
 * :mod:`repro.explore.cli` — the ``repro-explore`` console entry point.
 
 Quick start::
@@ -33,12 +38,23 @@ Quick start::
     frontier = pareto_frontier(aggregate_points(result.points))
 """
 
+from repro.explore.adaptive import (
+    AdaptiveResult,
+    AdaptiveSpec,
+    RoundLog,
+    frontier_recall,
+    quadruple_features,
+    run_adaptive,
+)
 from repro.explore.pareto import (
     DEFAULT_OBJECTIVES,
     ParetoPoint,
     aggregate_points,
     dominates,
+    frontier_keys,
     nearest_paper_design,
+    nondominated_mask,
+    objective_matrix,
     pareto_frontier,
     quadruple_distance,
     rank_frontier,
@@ -60,9 +76,12 @@ from repro.explore.sweep import (
 )
 
 __all__ = [
+    "AdaptiveResult",
+    "AdaptiveSpec",
     "DEFAULT_OBJECTIVES",
     "DesignSpace",
     "ParetoPoint",
+    "RoundLog",
     "SWEEP_CPR_LEVELS",
     "SweepPoint",
     "SweepResult",
@@ -70,11 +89,17 @@ __all__ = [
     "aggregate_points",
     "dominates",
     "enumerate_quadruples",
+    "frontier_keys",
+    "frontier_recall",
     "legal_block_sizes",
     "nearest_paper_design",
+    "nondominated_mask",
+    "objective_matrix",
     "pareto_frontier",
     "quadruple_distance",
+    "quadruple_features",
     "rank_frontier",
+    "run_adaptive",
     "run_sweep",
     "score_characterization",
     "space_entries",

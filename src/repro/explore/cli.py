@@ -14,6 +14,15 @@ Example::
 
     repro-explore --width 16 --max-designs 64 --backend multiprocess \
         --jobs 4 --cache-dir ~/.cache/repro-explore
+
+``--adaptive`` switches the exhaustive (or strided) sweep for the
+surrogate-directed search of :mod:`repro.explore.adaptive`: the whole
+space is the candidate set, but only a budgeted fraction of it is ever
+simulated — random-forest surrogates fitted on the measured rounds steer
+each next batch toward the Pareto frontier::
+
+    repro-explore --width 32 --adaptive --budget 160 --batch-size 12 \
+        --cache-dir ~/.cache/repro-explore
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from typing import List, Optional
 
 from repro.analysis.report import format_log_value, format_table
 from repro.experiments.common import StudyConfig
+from repro.experiments.designs import exact_entry
+from repro.explore.adaptive import AdaptiveSpec, run_adaptive
 from repro.explore.pareto import (
     aggregate_points,
     nearest_paper_design,
@@ -100,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-synth-cache", action="store_true",
                         help="disable the synthesis cache even when $REPRO_SYNTH_CACHE "
                              "is set")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="surrogate-directed search instead of a sweep: simulate "
+                             "only a budgeted fraction of the space, steering each "
+                             "batch with random-forest surrogates fitted on the "
+                             "measured rounds (--max-designs is ignored; the whole "
+                             "space is the candidate set)")
+    parser.add_argument("--budget-fraction", type=float, default=0.2, metavar="F",
+                        help="adaptive simulation budget as a fraction of the "
+                             "candidate space, in (0, 1] (default 0.2)")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="adaptive simulation budget as an absolute design count "
+                             "(overrides --budget-fraction)")
+    parser.add_argument("--batch-size", type=int, default=12, metavar="N",
+                        help="designs simulated per adaptive round (default 12)")
+    parser.add_argument("--rounds", type=int, default=30, metavar="N",
+                        help="maximum adaptive acquisition rounds after the seed "
+                             "batch (default 30)")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--timings", action="store_true",
                         help="append a phase breakdown (synthesize — split into "
@@ -142,11 +170,20 @@ def design_space(arguments) -> DesignSpace:
 
 
 def build_sweep(arguments, config: StudyConfig,
-                space: Optional[DesignSpace] = None) -> SweepSpec:
-    """Expand the CLI arguments into the sweep specification."""
+                space: Optional[DesignSpace] = None,
+                template: bool = False) -> SweepSpec:
+    """Expand the CLI arguments into the sweep specification.
+
+    With ``template=True`` the entries are just the exact baseline —
+    the shape the adaptive search wants, replacing the entries batch by
+    batch via :meth:`SweepSpec.with_entries`.
+    """
     space = space if space is not None else design_space(arguments)
-    max_designs = arguments.max_designs if arguments.max_designs > 0 else None
-    entries = space.entries(max_designs=max_designs)
+    if template:
+        entries = [exact_entry(arguments.width)]
+    else:
+        max_designs = arguments.max_designs if arguments.max_designs > 0 else None
+        entries = space.entries(max_designs=max_designs)
     length = config.scaled_length(arguments.length)
     workloads = tuple(
         WorkloadSpec(kind=kind, length=length, width=arguments.width,
@@ -196,7 +233,7 @@ def run_exploration(arguments) -> str:
     started = time.time()
     config = study_config(arguments)
     space = design_space(arguments)
-    spec = build_sweep(arguments, config, space=space)
+    spec = build_sweep(arguments, config, space=space, template=arguments.adaptive)
 
     if arguments.no_synth_cache:
         configure_synth_cache(None)
@@ -211,15 +248,36 @@ def run_exploration(arguments) -> str:
     backend = config.runtime_backend()
     stats_baseline = (backend.stats.snapshot()
                       if isinstance(backend, CachingBackend) else None)
-    result = run_sweep(spec, backend=backend)
+    if arguments.adaptive:
+        adaptive_spec = AdaptiveSpec(
+            space=space, sweep=spec, batch_size=arguments.batch_size,
+            budget=arguments.budget, budget_fraction=arguments.budget_fraction,
+            max_rounds=arguments.rounds, seed=arguments.seed)
+        adaptive = run_adaptive(
+            adaptive_spec, backend=backend,
+            progress=lambda log: print(f"  {log.describe()}", file=sys.stderr))
+        points = adaptive.points
+        jobs_total = (adaptive.simulated + 1) * len(spec.workloads)
+        mode_lines = [
+            f"search    : {adaptive.describe()}",
+        ]
+        explored_note = (f"explored {adaptive.simulated} of {adaptive.candidates} "
+                         f"designs in {len(adaptive.rounds)} rounds")
+    else:
+        result = run_sweep(spec, backend=backend)
+        points = result.points
+        jobs_total = spec.job_count
+        mode_lines = [f"sweep     : {spec.describe()}"]
+        explored_note = (f"explored {len(spec.entries)} designs / "
+                         f"{spec.point_count} points")
 
-    candidates = aggregate_points(result.points)
+    candidates = aggregate_points(points)
     ranked = rank_frontier(pareto_frontier(candidates))
 
     sections: List[str] = [
         "ISA design-space exploration",
         f"space     : {space.describe()}",
-        f"sweep     : {spec.describe()}",
+        *mode_lines,
         f"workload  : {spec.workloads[0].length} vectors per trace, "
         f"simulator={spec.simulator}, engine={spec.engine}",
         "",
@@ -232,13 +290,13 @@ def run_exploration(arguments) -> str:
         run_stats = backend.stats.since(stats_baseline)
         simulated = run_stats.misses
         cache_note = (f", cache={run_stats.describe()} [{backend.store.root}]"
-                      f", simulated {simulated} of {spec.job_count} jobs")
+                      f", simulated {simulated} of {jobs_total} jobs")
     if synth_baseline is not None:
         synth_stats = synth_cache.stats.since(synth_baseline)
         cache_note += (f", synth-cache={synth_stats.describe()} "
                        f"[{synth_cache.store.root}]")
     sections.append(
-        f"(explored {len(spec.entries)} designs / {spec.point_count} points in "
+        f"({explored_note} in "
         f"{elapsed:.1f} s, backend={backend.describe()}, seed={arguments.seed}"
         f"{cache_note})")
     return "\n".join(sections)
@@ -256,6 +314,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--width must be at least 2 (a 1-bit adder has no quadruple space)")
     if arguments.length < 16:
         parser.error("--length must be at least 16 vectors")
+    if not 0.0 < arguments.budget_fraction <= 1.0:
+        parser.error("--budget-fraction must be in (0, 1]")
+    if arguments.budget is not None and arguments.budget < 1:
+        parser.error("--budget must be at least 1 design")
+    if arguments.batch_size < 1:
+        parser.error("--batch-size must be at least 1 design")
+    if arguments.rounds < 0:
+        parser.error("--rounds must be non-negative")
     if arguments.timings:
         with collect_phases() as phases:
             report = run_exploration(arguments)

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import AnalysisError
 from repro.experiments.designs import PAPER_QUADRUPLES
@@ -115,14 +117,62 @@ def dominates(first: ParetoPoint, second: ParetoPoint,
     return no_worse and strictly_better
 
 
+def objective_matrix(candidates: Sequence[ParetoPoint],
+                     objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> np.ndarray:
+    """Objective values of every candidate, shape ``(candidates, objectives)``."""
+    if not objectives:
+        raise AnalysisError("objective_matrix needs at least one objective")
+    return np.array([[objective(candidate) for objective in objectives]
+                     for candidate in candidates], dtype=np.float64).reshape(
+                         len(candidates), len(objectives))
+
+
+def nondominated_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of the weakly non-dominated rows of ``(n, k)`` values.
+
+    Row ``j`` dominates row ``i`` when it is no worse on every column and
+    strictly better on at least one (all objectives minimised) — the
+    same rule as :func:`dominates`, evaluated for all pairs at once.
+    The comparison is blocked so peak memory stays bounded on the large
+    predicted-candidate sets of the adaptive explorer (tens of
+    thousands of rows), where the pure-Python pairwise loop would be
+    minutes instead of milliseconds.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise AnalysisError(f"expected a 2-D objective matrix, got shape {values.shape}")
+    count = values.shape[0]
+    mask = np.ones(count, dtype=bool)
+    if count == 0:
+        return mask
+    block_rows = max(1, (4 << 20) // max(1, count * values.shape[1]))
+    for start in range(0, count, block_rows):
+        block = values[start:start + block_rows]
+        no_worse = (values[None, :, :] <= block[:, None, :]).all(axis=2)
+        strictly_better = (values[None, :, :] < block[:, None, :]).any(axis=2)
+        mask[start:start + block_rows] = ~(no_worse & strictly_better).any(axis=1)
+    return mask
+
+
 def pareto_frontier(candidates: Sequence[ParetoPoint],
                     objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> List[ParetoPoint]:
     """The non-dominated subset of ``candidates``, in input order."""
     if not objectives:
         raise AnalysisError("pareto_frontier needs at least one objective")
-    return [candidate for candidate in candidates
-            if not any(dominates(other, candidate, objectives)
-                       for other in candidates if other is not candidate)]
+    if not candidates:
+        return []
+    mask = nondominated_mask(objective_matrix(candidates, objectives))
+    return [candidate for candidate, keep in zip(candidates, mask) if keep]
+
+
+def frontier_keys(frontier: Sequence[ParetoPoint]) -> Set[Tuple[Optional[Quadruple], float]]:
+    """Identity set of a frontier: the ``(quadruple, cpr)`` pairs on it.
+
+    The exact baseline appears as ``(None, cpr)``.  Two frontiers over
+    the same measured points compare by this set — the adaptive
+    explorer's convergence check and its recall metric both use it.
+    """
+    return {(point.quadruple, point.cpr) for point in frontier}
 
 
 def rank_frontier(frontier: Sequence[ParetoPoint]) -> List[ParetoPoint]:

@@ -19,7 +19,7 @@ adder, which the sweep layer adds as its explicit baseline entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.config import ISAConfig
 from repro.exceptions import ConfigurationError
@@ -88,9 +88,14 @@ class DesignSpace:
     def _bound(self, block: int, limit: Optional[int]) -> int:
         return block if limit is None else min(block, limit)
 
-    def quadruples(self) -> List[Quadruple]:
-        """Every legal quadruple of the space, sorted ascending."""
-        result: List[Quadruple] = []
+    def iter_quadruples(self) -> Iterator[Quadruple]:
+        """Lazily yield every legal quadruple, in the sorted order.
+
+        The streaming counterpart of :meth:`quadruples`: candidate
+        scoring over the combinatorially exploding width-32/64 spaces
+        consumes this iterator (building compact arrays as it goes)
+        instead of materialising the full tuple list.
+        """
         for block in self.resolved_block_sizes():
             spec_limit = self._bound(block, self.max_spec)
             corr_limit = self._bound(block, self.max_correction)
@@ -101,13 +106,16 @@ class DesignSpace:
                         if (self.max_overhead_bits is not None
                                 and spec + correction + reduction > self.max_overhead_bits):
                             continue
-                        result.append((block, spec, correction, reduction))
-        return result
+                        yield (block, spec, correction, reduction)
+
+    def quadruples(self) -> List[Quadruple]:
+        """Every legal quadruple of the space, sorted ascending."""
+        return list(self.iter_quadruples())
 
     @property
     def size(self) -> int:
-        """Number of legal quadruples in the space."""
-        return len(self.quadruples())
+        """Number of legal quadruples in the space (no list materialised)."""
+        return sum(1 for _ in self.iter_quadruples())
 
     def select(self, max_designs: Optional[int] = None) -> List[Quadruple]:
         """At most ``max_designs`` quadruples, evenly strided over the space.

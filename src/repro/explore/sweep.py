@@ -25,7 +25,7 @@ points directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import (
@@ -123,6 +123,16 @@ class SweepSpec:
                     width=self.width,
                 ))
         return jobs
+
+    def with_entries(self, entries: Sequence[DesignEntry]) -> "SweepSpec":
+        """This sweep over a different design subset, everything else shared.
+
+        The adaptive explorer expands each of its batches through this:
+        clock plan, workloads, simulator tier and synthesis options stay
+        identical across rounds, so every round's jobs land in the same
+        cache keyspace as an exhaustive sweep of the same space.
+        """
+        return replace(self, entries=tuple(entries))
 
     def describe(self) -> str:
         """One-line sweep summary for reports."""

@@ -8,10 +8,16 @@ the decision-tree and random-forest learners are implemented from scratch
 on NumPy in :mod:`repro.ml.tree` and :mod:`repro.ml.forest`; the
 feature construction, the per-bit model and the ABPER/AVPE evaluation
 metrics mirror Sections III and IV-B of the paper.
+
+:mod:`repro.ml.regress` extends the same machinery to regression
+(variance-reduction threshold splits on numeric features, identical
+seeding discipline): the surrogate mode the adaptive design-space
+explorer uses to predict sweep scores straight from quadruple features.
 """
 
 from repro.ml.tree import DecisionTreeClassifier
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.regress import DecisionTreeRegressor, RandomForestRegressor
 from repro.ml.features import FEATURE_DOC, build_feature_matrix, feature_names
 from repro.ml.dataset import BitDataset, build_bit_datasets, collect_bit_datasets
 from repro.ml.model import BitLevelTimingModel, TimingModelOptions
@@ -19,7 +25,9 @@ from repro.ml.metrics import abper, avpe, classification_summary
 
 __all__ = [
     "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
     "RandomForestClassifier",
+    "RandomForestRegressor",
     "FEATURE_DOC",
     "build_feature_matrix",
     "feature_names",

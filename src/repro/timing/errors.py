@@ -55,17 +55,43 @@ class TimingErrorTrace:
     # ------------------------------------------------------------------ #
     # Bit-level views
     # ------------------------------------------------------------------ #
+    def _bit_matrices(self) -> tuple:
+        """Memoized (sampled, settled, error) bit matrices.
+
+        Scoring calls the bit views several times per trace (error rates,
+        timing classes, feature extraction); the extraction is recomputed
+        work with an identical result every time, so it is derived once
+        and kept on the instance.  The matrices are marked read-only —
+        they are shared state now — and the memo never pickles
+        (:meth:`__getstate__`), keeping cached/shipped traces lean.
+        """
+        cached = getattr(self, "_bits_cache", None)
+        if cached is None:
+            sampled = extract_bits_matrix(self.sampled_words, self.output_width)
+            settled = extract_bits_matrix(self.settled_words, self.output_width)
+            errors = (sampled != settled).astype(np.uint8)
+            for matrix in (sampled, settled, errors):
+                matrix.setflags(write=False)
+            cached = (sampled, settled, errors)
+            object.__setattr__(self, "_bits_cache", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_bits_cache", None)
+        return state
+
     def sampled_bits(self) -> np.ndarray:
         """0/1 matrix of shape (cycles, output_width) of latched output bits."""
-        return extract_bits_matrix(self.sampled_words, self.output_width)
+        return self._bit_matrices()[0]
 
     def settled_bits(self) -> np.ndarray:
         """0/1 matrix of the settled (error-free at this abstraction) output bits."""
-        return extract_bits_matrix(self.settled_words, self.output_width)
+        return self._bit_matrices()[1]
 
     def error_bits(self) -> np.ndarray:
         """0/1 matrix marking bits whose latched value differs from the settled one."""
-        return (self.sampled_bits() != self.settled_bits()).astype(np.uint8)
+        return self._bit_matrices()[2]
 
     def timing_classes(self) -> np.ndarray:
         """Timing classes per the paper: 1 = timing-correct, 0 = timing-erroneous."""

@@ -1,5 +1,7 @@
 """Tests for clock plans and timing-error trace containers."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -72,6 +74,22 @@ class TestTimingErrorTrace:
     def test_arithmetic_errors_signed(self):
         trace = self._trace()
         assert trace.arithmetic_errors().tolist() == [-2, 0, -8]
+
+    def test_bit_views_memoized(self):
+        trace = self._trace()
+        assert trace.sampled_bits() is trace.sampled_bits()
+        assert trace.settled_bits() is trace.settled_bits()
+        assert trace.error_bits() is trace.error_bits()
+        assert not trace.error_bits().flags.writeable
+
+    def test_memo_not_pickled_and_scoring_unchanged(self):
+        trace = self._trace()
+        reference_errors = np.array(trace.error_bits(), copy=True)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert "_bits_cache" not in clone.__dict__
+        assert np.array_equal(clone.error_bits(), reference_errors)
+        assert clone.cycle_error_rate() == pytest.approx(2 / 3)
+        assert clone.bit_error_rate().tolist() == pytest.approx([0, 1 / 3, 0, 1 / 3])
 
     def test_shape_mismatch_rejected(self):
         with pytest.raises(AnalysisError):

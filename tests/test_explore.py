@@ -73,6 +73,23 @@ class TestSpaceEnumeration:
         assert quadruples == sorted(quadruples)
         assert quadruples == space.quadruples()
 
+    def test_iterator_matches_list(self):
+        """iter_quadruples is the lazy twin of quadruples(): same items,
+        same order, same counts, with nothing materialised for size."""
+        for width in (8, 16, 32):
+            space = DesignSpace(width=width)
+            iterated = list(space.iter_quadruples())
+            assert iterated == space.quadruples()
+            assert space.size == len(iterated)
+        constrained = DesignSpace(width=16, block_sizes=(8,), max_overhead_bits=3)
+        assert list(constrained.iter_quadruples()) == constrained.quadruples()
+        assert constrained.size == len(constrained.quadruples())
+
+    def test_iterator_is_lazy(self):
+        iterator = DesignSpace(width=64).iter_quadruples()
+        assert next(iterator) == (1, 0, 0, 0)
+        assert next(iterator) == (1, 0, 0, 1)
+
     def test_select_subsample(self):
         space = DesignSpace(width=16)
         subset = space.select(max_designs=64)

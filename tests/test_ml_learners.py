@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import ModelError
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.regress import DecisionTreeRegressor, RandomForestRegressor
 from repro.ml.tree import DecisionTreeClassifier
 
 
@@ -133,3 +134,116 @@ class TestRandomForest:
         X, y = make_dataset(lambda X: X[:, feature], samples=300, seed=feature)
         forest = RandomForestClassifier(n_estimators=5, max_depth=4, seed=1).fit(X, y)
         assert (forest.predict(X) == y).mean() > 0.9
+
+
+def _regress_dataset(func, samples=400, features=6, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2.0, 2.0, size=(samples, features))
+    y = func(X)
+    if noise:
+        y = y + rng.normal(0.0, noise, size=samples)
+    return X, y
+
+
+def _fit_and_predict_regressor(seed):
+    """Module-level so ProcessPoolExecutor can pickle it (spawn-safe)."""
+    X, y = _regress_dataset(lambda X: 3.0 * X[:, 0] - X[:, 2], seed=5)
+    forest = RandomForestRegressor(n_estimators=6, max_depth=8, seed=seed).fit(X, y)
+    return forest.predict(X[:50])
+
+
+class TestDecisionTreeRegressor:
+    def test_learns_step_function(self):
+        X, y = _regress_dataset(lambda X: np.where(X[:, 1] > 0.5, 4.0, -1.0))
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert np.abs(tree.predict(X) - y).max() < 1e-9
+
+    def test_learns_piecewise_surface(self):
+        X, y = _regress_dataset(lambda X: np.sign(X[:, 0]) + 2.0 * np.sign(X[:, 3]))
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert np.abs(tree.predict(X) - y).mean() < 0.05
+
+    def test_constant_target_is_single_leaf(self):
+        X = np.arange(20, dtype=np.float64).reshape(10, 2)
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 2.5))
+        assert tree.depth() == 0
+        assert tree.node_count() == 1
+        assert tree.predict(X).tolist() == [2.5] * 10
+
+    def test_max_depth_respected(self):
+        X, y = _regress_dataset(lambda X: X[:, 0] * X[:, 1], samples=600)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_split=2).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_unfitted_and_bad_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        tree = DecisionTreeRegressor().fit(np.zeros((4, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            tree.predict(np.zeros((2, 3)))
+
+
+class TestRandomForestRegressor:
+    def test_monotone_round_trip(self):
+        """Surrogate sanity: a smooth monotone target is recovered well
+        enough that predicted ordering matches the true ordering."""
+        X, y = _regress_dataset(lambda X: X[:, 0] + 0.5 * X[:, 1], samples=600,
+                                noise=0.01, seed=2)
+        forest = RandomForestRegressor(n_estimators=12, max_depth=10, seed=0).fit(X, y)
+        grid = np.zeros((9, X.shape[1]))
+        grid[:, 0] = np.linspace(-1.5, 1.5, 9)
+        predicted = forest.predict(grid)
+        assert np.all(np.diff(predicted) > -0.05)
+        assert np.corrcoef(forest.predict(X), y)[0, 1] > 0.98
+
+    def test_predict_std_higher_off_support(self):
+        X, y = _regress_dataset(lambda X: np.where(X[:, 0] > 0, 5.0, -5.0),
+                                samples=300, seed=3)
+        forest = RandomForestRegressor(n_estimators=16, seed=1).fit(X, y)
+        deep = np.zeros((1, X.shape[1])); deep[0, 0] = 1.5
+        boundary = np.zeros((1, X.shape[1])); boundary[0, 0] = 0.0
+        assert forest.predict_std(boundary)[0] >= forest.predict_std(deep)[0]
+
+    def test_deterministic_with_seed(self):
+        X, y = _regress_dataset(lambda X: X[:, 0] ** 2, seed=4)
+        first = RandomForestRegressor(n_estimators=5, seed=9).fit(X, y).predict(X)
+        second = RandomForestRegressor(n_estimators=5, seed=9).fit(X, y).predict(X)
+        assert np.array_equal(first, second)
+        different = RandomForestRegressor(n_estimators=5, seed=10).fit(X, y).predict(X)
+        assert not np.array_equal(first, different)
+
+    def test_deterministic_across_processes(self):
+        """The adaptive explorer's warm-cache identity rests on this: the
+        same seed must grow the same ensemble in any process."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        local = _fit_and_predict_regressor(21)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_fit_and_predict_regressor, 21).result()
+        assert np.array_equal(local, remote)
+
+    def test_predict_all_shape_and_mean(self):
+        X, y = _regress_dataset(lambda X: X[:, 1], samples=100)
+        forest = RandomForestRegressor(n_estimators=4, seed=0).fit(X, y)
+        stacked = forest.predict_all(X[:10])
+        assert stacked.shape == (4, 10)
+        assert np.allclose(stacked.mean(axis=0), forest.predict(X[:10]))
+
+    def test_describe_and_is_fitted(self):
+        forest = RandomForestRegressor(n_estimators=2)
+        assert not forest.is_fitted
+        assert "not fitted" in forest.describe()
+        X, y = _regress_dataset(lambda X: X[:, 0], samples=50)
+        forest.fit(X, y)
+        assert forest.is_fitted
+        assert "2 trees" in forest.describe()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ModelError):
+            RandomForestRegressor().fit(np.zeros((0, 2)), np.zeros(0))

@@ -9,6 +9,9 @@ through to the wrapped backend untouched.
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import numpy as np
 import pytest
 
@@ -191,9 +194,12 @@ class TestPlannedScheduling:
 
     def test_describe(self):
         assert PlannedBackend(SerialBackend()).describe() == "planned[serial]"
-        backend = PlannedBackend(MultiprocessBackend(workers=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = PlannedBackend(MultiprocessBackend(workers=2))
+        expected = min(2, os.cpu_count() or 1)
         try:
-            assert backend.describe() == "planned[multiprocess[2]]"
+            assert backend.describe() == f"planned[multiprocess[{expected}]]"
         finally:
             backend.close()
 

@@ -1,5 +1,7 @@
 """Tests for the command-line runner and the top-level public API."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -78,7 +80,8 @@ class TestRunnerCli:
         assert exit_code == 0
         text = output.read_text()
         assert "Fig. 10" in text
-        assert "backend=planned[multiprocess[2]]" in text
+        expected = min(2, os.cpu_count() or 1)
+        assert f"backend=planned[multiprocess[{expected}]]" in text
         assert "engine=compiled" in text
 
     def test_run_all_fig9_only(self):

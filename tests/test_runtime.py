@@ -9,7 +9,9 @@ small 16-bit designs so the suite stays fast.
 
 from __future__ import annotations
 
+import os
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -200,11 +202,24 @@ class TestBackendDeterminism:
 class TestBackendApi:
     def test_get_backend_names(self):
         assert isinstance(get_backend("serial"), SerialBackend)
-        backend = get_backend("multiprocess", workers=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = get_backend("multiprocess", workers=3)
+        expected = min(3, os.cpu_count() or 1)
         assert isinstance(backend, MultiprocessBackend)
-        assert backend.workers == 3
-        assert backend.describe() == "multiprocess[3]"
+        assert backend.workers == expected
+        assert backend.describe() == f"multiprocess[{expected}]"
         assert get_backend(backend) is backend
+
+    def test_worker_clamp_warns(self):
+        cpus = os.cpu_count() or 1
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            backend = MultiprocessBackend(workers=cpus + 1)
+        assert backend.workers == cpus
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert MultiprocessBackend(workers=cpus).workers == cpus
+            assert MultiprocessBackend().workers == cpus
 
     def test_get_backend_rejects_unknown(self):
         with pytest.raises(ConfigurationError):
