@@ -15,7 +15,9 @@ Two entry points share this module:
   persistent result cache cold (simulate + persist) vs warm (every job
   served bit-identically from disk), measures the design-space
   explorer's sweep throughput (designs x clock points per second, cold
-  vs warm), measures the adaptive frontier-guided search against the
+  vs warm) for both registered operator families (the adder space and
+  the multiplier space through the same cached pipeline), measures the
+  adaptive frontier-guided search against the
   exhaustive width-16 sweep (frontier recall at a fifth of the space,
   plus a warm re-run that must simulate nothing), and records
   everything — with backend, worker count and host metadata — in
@@ -325,6 +327,70 @@ def run_explore_comparison(width: int = 16, max_designs: int = 24,
         assert cold.points == warm.points, "warm sweep disagrees with the cold one"
 
         return {
+            "width": width,
+            "designs": len(spec.entries),
+            "jobs": spec.job_count,
+            "points": spec.point_count,
+            "trace_cycles": length,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "points_per_s": spec.point_count / cold_s,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def run_multiplier_sweep_comparison(width: int = 8, max_designs: int = 32,
+                                    length: int = 256) -> dict:
+    """Sweep throughput of the multiplier operator family, cold vs warm.
+
+    The registry counterpart of :func:`run_explore_comparison`: resolve
+    the ``multiplier`` family, enumerate and subsample its quadruple
+    space at ``width``, sweep it (plus the exact array-multiplier
+    baseline) over the family's safe period and the paper's CPR levels
+    through the cached job pipeline, then repeat the sweep warm —
+    asserting zero simulated jobs and point-for-point identical scores.
+    Records designs, jobs, points and the cold sweep throughput in
+    (design x clock) points per second, proving a second operator
+    family pays no throughput tax in the shared pipeline.
+    """
+    from repro.explore import SweepSpec, run_sweep
+    from repro.families import get_family
+    from repro.runtime import CachingBackend
+    from repro.timing.clocking import PAPER_CPR_LEVELS, ClockPlan
+    from repro.workloads.generators import WorkloadSpec
+
+    family = get_family("multiplier")
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-mul-")
+    try:
+        entries = family.design_space(width).entries(max_designs=max_designs)
+        spec = SweepSpec(
+            entries=tuple(entries),
+            clock_plan=ClockPlan(safe_period=family.safe_period(width),
+                                 cpr_levels=PAPER_CPR_LEVELS),
+            workloads=(WorkloadSpec("uniform", length, width=width, seed=3),),
+            simulator="fast",
+            width=width,
+        )
+        backend = CachingBackend("serial", cache_dir)
+
+        started = time.perf_counter()
+        cold = run_sweep(spec, backend=backend)
+        cold_s = time.perf_counter() - started
+        cold_misses = backend.stats.misses
+
+        started = time.perf_counter()
+        warm = run_sweep(spec, backend=backend)
+        warm_s = time.perf_counter() - started
+
+        assert backend.stats.misses == cold_misses, \
+            "warm multiplier sweep executed simulation jobs"
+        assert cold.points == warm.points, \
+            "warm multiplier sweep disagrees with the cold one"
+
+        return {
+            "family": "multiplier",
             "width": width,
             "designs": len(spec.entries),
             "jobs": spec.job_count,
@@ -725,6 +791,9 @@ def main(argv=None) -> int:
     parser.add_argument("--explore-designs", type=int, default=24,
                         help="design budget of the explorer sweep benchmark "
                              "(default 24)")
+    parser.add_argument("--multiplier-designs", type=int, default=32,
+                        help="design budget of the multiplier-family sweep "
+                             "benchmark (default 32)")
     parser.add_argument("--synth-designs", type=int, default=64,
                         help="design budget of the synthesis-flow benchmark "
                              "(default 64, the acceptance-criterion sweep size)")
@@ -743,6 +812,7 @@ def main(argv=None) -> int:
     if args.smoke:
         args.cycles, args.repeats, args.backend_cycles = 4096, 2, 150
         args.explore_designs = 12
+        args.multiplier_designs = 12
         args.synth_designs = 12
         args.adaptive_cycles = 64
 
@@ -754,6 +824,8 @@ def main(argv=None) -> int:
         cycles=args.backend_cycles)
     explore = record["results"]["explore_sweep"] = run_explore_comparison(
         max_designs=args.explore_designs)
+    mul = record["results"]["multiplier_sweep"] = run_multiplier_sweep_comparison(
+        max_designs=args.multiplier_designs)
     # Best-of floor: the two paths alternate long wall-time sections, so
     # a couple of extra repeats are what shields the recorded ratio from
     # scheduler noise on shared hosts.
@@ -807,6 +879,12 @@ def main(argv=None) -> int:
           f"({explore['points_per_s']:.0f} points/s)")
     print(f"  warm (from disk): {explore['warm_s'] * 1e3:8.1f} ms  "
           f"({explore['warm_speedup']:.1f}x, zero simulation)")
+    print(f"multiplier sweep, {mul['designs']} designs x 4 clock points, "
+          f"{mul['trace_cycles']} cycles (width {mul['width']}):")
+    print(f"  cold (simulate) : {mul['cold_s'] * 1e3:8.1f} ms  "
+          f"({mul['points_per_s']:.0f} points/s)")
+    print(f"  warm (from disk): {mul['warm_s'] * 1e3:8.1f} ms  "
+          f"({mul['warm_speedup']:.1f}x, zero simulation)")
     print(f"batched sweep, {batched['designs']} designs x {batched['workloads']} "
           f"workloads x 4 clock points, {batched['trace_cycles']} cycles "
           f"(width {batched['width']}):")

@@ -41,6 +41,12 @@ class DesignEntry:
     name: str
     config: Optional[ISAConfig]
 
+    #: Registry id resolving this entry's operator family.  A class
+    #: attribute (not a dataclass field): adder entries predate the
+    #: family registry and their cache-digest identity — the canonical
+    #: flattening of the dataclass fields — must not change.
+    family = "adder"
+
     @property
     def is_exact(self) -> bool:
         """True for the exact (conventional) adder baseline."""

@@ -36,6 +36,7 @@ from repro.experiments.designs import FIG10_QUADRUPLE
 from repro.experiments.fig9_rms import run_fig9
 from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
+from repro.families import family_ids, get_family
 from repro.runtime import BACKENDS, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
@@ -48,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Regenerate the figures of 'Combining Structural and Timing Errors in "
                     "Overclocked Inexact Speculative Adders' (DATE 2017)")
+    parser.add_argument("--family", choices=family_ids(), default="adder",
+                        help="operator family to characterise (default adder; the "
+                             "paper's figures are adder studies, so any other family "
+                             "runs a compact characterization sweep instead of "
+                             "--figures)")
+    parser.add_argument("--width", type=int, default=None,
+                        help="operand width of a non-adder family study "
+                             "(default: the family's default width)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="scale factor applied to every trace length (default 1.0)")
     parser.add_argument("--simulator", choices=("event", "fast"), default="event",
@@ -153,6 +162,73 @@ def run_all(config: StudyConfig, figures: List[str]) -> str:
     return "\n\n".join(sections)
 
 
+def run_family_study(config: StudyConfig, family_id: str, width: int) -> str:
+    """Compact characterization sweep of one non-adder operator family.
+
+    The paper's figures are adder studies; other families get the
+    pipeline-equivalent summary — a strided selection of the legal space
+    plus the exact baseline, swept over the family's CPR plan through
+    the same cached job pipeline, reported per (design x CPR) point.
+    """
+    from repro.analysis.report import format_log_value, format_table
+    from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep
+    from repro.timing.clocking import ClockPlan
+    from repro.workloads.generators import WorkloadSpec
+
+    family = get_family(family_id)
+    space = family.design_space(width)
+    started = time.time()
+    backend_instance = config.runtime_backend()
+    stats_baseline = (backend_instance.stats.snapshot()
+                      if isinstance(backend_instance, CachingBackend) else None)
+    synth_cache = active_synth_cache()
+    synth_baseline = (synth_cache.stats.snapshot()
+                      if synth_cache is not None else None)
+
+    spec = SweepSpec(
+        entries=tuple(space.entries(max_designs=12)),
+        clock_plan=ClockPlan(safe_period=family.safe_period(width),
+                             cpr_levels=SWEEP_CPR_LEVELS),
+        workloads=(WorkloadSpec(kind="uniform", length=config.scaled_length(512),
+                                width=width, seed=config.seed),),
+        simulator=config.simulator, engine=config.engine,
+        synthesis=config.synthesis, width=width)
+    result = run_sweep(spec, backend=backend_instance)
+
+    rows = [(point.design,
+             f"{point.cpr * 100:g}%",
+             f"{point.clock_period * 1e12:.0f}",
+             format_log_value(point.stats.rms_relative_error * 100.0),
+             f"{point.stats.error_rate:.4f}",
+             "yes" if point.provably_exact else "",
+             point.cost.gates,
+             f"{point.cost.area_proxy * 1e12:.0f}")
+            for point in result.points]
+    table = format_table(
+        ["design", "CPR", "clock (ps)", "joint RMS RE (%)", "error rate",
+         "exact-by-design", "gates", "area (ps)"],
+        rows,
+        title=f"{family_id} characterization — {space.describe()}; "
+              f"{spec.describe()}")
+
+    elapsed = time.time() - started
+    cache_note = ""
+    if stats_baseline is not None:
+        run_stats = backend_instance.stats.since(stats_baseline)
+        cache_note = (f", cache={run_stats.describe()} "
+                      f"[{backend_instance.store.root}]")
+    if synth_baseline is not None:
+        synth_stats = synth_cache.stats.since(synth_baseline)
+        cache_note += (f", synth-cache={synth_stats.describe()} "
+                       f"[{synth_cache.store.root}]")
+    footer = (f"(characterized {len(spec.entries)} {family_id} designs in "
+              f"{elapsed:.1f} s, simulator={config.simulator}, "
+              f"engine={config.engine}, backend={backend_instance.describe()}, "
+              f"trace_scale={config.trace_scale:g}, "
+              f"seed={config.seed}{cache_note})")
+    return "\n\n".join([table, footer])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
     parser = build_parser()
@@ -177,17 +253,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["cache_dir"] = None
     elif arguments.cache_dir is not None:
         overrides["cache_dir"] = arguments.cache_dir
+    family = get_family(arguments.family)
+    width = arguments.width
+    if arguments.family == "adder":
+        if width is not None:
+            parser.error("--width applies to non-adder family studies only "
+                         "(the paper's figures are fixed-width adder studies)")
+    else:
+        width = width if width is not None else family.default_width
+        if not 2 <= width <= family.max_width:
+            parser.error(f"--width must be in [2, {family.max_width}] for the "
+                         f"{arguments.family} family")
     config = StudyConfig(**overrides)
     if arguments.scale != 1.0:
         # --scale composes with $REPRO_TRACE_SCALE through the explicit
         # trace_scale field, so the applied scaling shows in the report.
         config = replace(config, trace_scale=config.trace_scale * arguments.scale)
+
+    def run() -> str:
+        if arguments.family == "adder":
+            return run_all(config, arguments.figures)
+        return run_family_study(config, arguments.family, width)
+
     if arguments.timings:
         with collect_phases() as phases:
-            report = run_all(config, arguments.figures)
+            report = run()
         report += f"\n(timings: {phases.describe()})"
     else:
-        report = run_all(config, arguments.figures)
+        report = run()
     print(report)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

@@ -45,7 +45,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.designs import DesignEntry, exact_entry, isa_entry
+from repro.experiments.designs import DesignEntry
 from repro.explore.pareto import (
     ParetoPoint,
     aggregate_points,
@@ -274,12 +274,22 @@ def frontier_recall(reference: Sequence[ParetoPoint],
 # Surrogate: measured points -> per-axis forests -> predicted objectives
 # --------------------------------------------------------------------- #
 class _Surrogate:
-    """The three per-axis forests, refitted from measured Pareto candidates."""
+    """The three per-axis forests, refitted from measured Pareto candidates.
 
-    def __init__(self, width: int, cpr_levels: Sequence[float], seed: Optional[int]) -> None:
+    ``featurize``/``feature_names`` come from the operator family
+    searched (default: the adder's), so the forests see whatever
+    quadruple parameterisation the space enumerates.
+    """
+
+    def __init__(self, width: int, cpr_levels: Sequence[float], seed: Optional[int],
+                 featurize: Optional[Callable] = None,
+                 feature_names: Optional[Sequence[str]] = None) -> None:
         self.width = width
         self.cpr_levels = np.asarray(cpr_levels, dtype=np.float64)
         self.seed = seed
+        self.featurize = featurize if featurize is not None else quadruple_features
+        names = tuple(feature_names) if feature_names is not None else SURROGATE_FEATURES
+        self.guarantee_column = names.index("provably_exact")
         self.rms: Optional[RandomForestRegressor] = None
         self.gates: Optional[RandomForestRegressor] = None
         self.area: Optional[RandomForestRegressor] = None
@@ -288,7 +298,7 @@ class _Surrogate:
         """Refit every axis on the measured (non-baseline) candidates."""
         candidates = [point for point in measured if point.quadruple is not None]
         quadruples = np.array([point.quadruple for point in candidates], dtype=np.int64)
-        features = quadruple_features(quadruples, self.width)
+        features = self.featurize(quadruples, self.width)
         rms_rows = np.column_stack(
             [features, np.array([point.cpr for point in candidates])])
         rms_targets = np.log10(
@@ -297,7 +307,7 @@ class _Surrogate:
         # identical at every clock point).
         first_cpr = min(point.cpr for point in candidates)
         structural = [point for point in candidates if point.cpr == first_cpr]
-        structural_features = quadruple_features(
+        structural_features = self.featurize(
             np.array([point.quadruple for point in structural], dtype=np.int64),
             self.width)
         gates_targets = np.array([float(point.gates) for point in structural])
@@ -334,8 +344,7 @@ class _Surrogate:
         rms_all = self.rms.predict_all(np.column_stack([tiled, cpr_column]))
         gates_all = self.gates.predict_all(features)
         area_all = self.area.predict_all(features)
-        guarantee = np.repeat(
-            1.0 - features[:, SURROGATE_FEATURES.index("provably_exact")], levels)
+        guarantee = np.repeat(1.0 - features[:, self.guarantee_column], levels)
         periods = np.tile(np.asarray(clock_periods, dtype=np.float64), count)
         objectives = np.column_stack([
             guarantee, rms_all.mean(axis=0),
@@ -467,15 +476,20 @@ def run_adaptive(spec: AdaptiveSpec, backend="serial", workers: Optional[int] = 
     from repro.runtime import CachingBackend, get_backend
     from repro.runtime.plan import PlannedBackend
 
+    from repro.families import get_family
+
+    family = get_family(getattr(spec.space, "family", "adder"))
     quadruples = candidate_matrix(spec.space)
     candidates = quadruples.shape[0]
     if candidates == 0:
         raise ConfigurationError(f"the candidate space is empty: {spec.space.describe()}")
-    features = quadruple_features(quadruples, spec.space.width)
+    features = family.surrogate_features(quadruples, spec.space.width)
     budget = spec.resolved_budget(candidates)
     clock_periods = tuple(spec.sweep.clock_plan.periods)
     cpr_levels = tuple(spec.sweep.clock_plan.cpr_levels)
-    surrogate = _Surrogate(spec.space.width, cpr_levels, spec.seed)
+    surrogate = _Surrogate(spec.space.width, cpr_levels, spec.seed,
+                           featurize=family.surrogate_features,
+                           feature_names=family.surrogate_feature_names)
 
     inner = get_backend(backend, workers=workers)
     owns_inner = inner is not backend
@@ -493,11 +507,11 @@ def run_adaptive(spec: AdaptiveSpec, backend="serial", workers: Optional[int] = 
     stable_rounds = 0
 
     def entries_for(indices: np.ndarray, include_exact: bool) -> List[DesignEntry]:
-        entries = [isa_entry(tuple(int(v) for v in quadruples[index]),
-                             width=spec.space.width)
+        entries = [family.design_entry(tuple(int(v) for v in quadruples[index]),
+                                       width=spec.space.width)
                    for index in indices]
         if include_exact:
-            entries.append(exact_entry(spec.space.width))
+            entries.append(family.exact_entry(spec.space.width))
         return entries
 
     def simulate(indices: np.ndarray, include_exact: bool) -> None:

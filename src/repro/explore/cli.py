@@ -34,16 +34,15 @@ from typing import List, Optional
 
 from repro.analysis.report import format_log_value, format_table
 from repro.experiments.common import StudyConfig
-from repro.experiments.designs import exact_entry
 from repro.explore.adaptive import AdaptiveSpec, run_adaptive
 from repro.explore.pareto import (
     aggregate_points,
-    nearest_paper_design,
     pareto_frontier,
     rank_frontier,
 )
-from repro.explore.space import DesignSpace
-from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep, sweep_clock_plan
+from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep
+from repro.families import family_ids, get_family
+from repro.timing.clocking import ClockPlan
 from repro.runtime import BACKENDS, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
@@ -59,23 +58,27 @@ def build_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``repro-explore`` entry point."""
     parser = argparse.ArgumentParser(
         prog="repro-explore",
-        description="Enumerate, sweep and Pareto-rank Inexact Speculative Adder "
+        description="Enumerate, sweep and Pareto-rank approximate-operator "
                     "configurations through the cached characterization pipeline")
+    parser.add_argument("--family", choices=family_ids(), default="adder",
+                        help="operator family whose design space is explored "
+                             "(default adder)")
     parser.add_argument("--width", type=int, default=32,
-                        help="adder width whose quadruple space is explored (default 32)")
+                        help="operand width whose quadruple space is explored "
+                             "(default 32)")
     parser.add_argument("--max-designs", type=int, default=64, metavar="N",
                         help="design budget: at most N quadruples, evenly strided over "
                              "the sorted space; 0 sweeps the entire space (default 64)")
     parser.add_argument("--block-sizes", type=int, nargs="+", default=None, metavar="B",
-                        help="restrict the space to these block sizes "
+                        help="adder only: restrict the space to these block sizes "
                              "(default: every proper divisor of the width)")
     parser.add_argument("--max-overhead-bits", type=int, default=None, metavar="K",
-                        help="cost constraint: only quadruples with "
+                        help="adder only: cost constraint, only quadruples with "
                              "spec+correction+reduction <= K")
     parser.add_argument("--clock-sweep", type=float, nargs="+", metavar="CPR",
                         default=[cpr * 100 for cpr in SWEEP_CPR_LEVELS],
                         help="clock-period reductions to sweep, in percent of the "
-                             "0.3 ns safe period (default: 0 5 10 15)")
+                             "family's safe period (default: 0 5 10 15)")
     parser.add_argument("--workloads", nargs="+", choices=WORKLOAD_KINDS,
                         default=["uniform"],
                         help="workload generators characterised per design (default: uniform)")
@@ -160,27 +163,29 @@ def study_config(arguments) -> StudyConfig:
     return StudyConfig(**overrides)
 
 
-def design_space(arguments) -> DesignSpace:
-    """The quadruple space the CLI arguments select."""
-    return DesignSpace(
-        width=arguments.width,
-        block_sizes=tuple(arguments.block_sizes) if arguments.block_sizes else None,
-        max_overhead_bits=arguments.max_overhead_bits,
-    )
+def design_space(arguments):
+    """The quadruple space the CLI arguments select, from the family."""
+    family = get_family(arguments.family)
+    constraints = {}
+    if arguments.family == "adder":
+        if arguments.block_sizes:
+            constraints["block_sizes"] = tuple(arguments.block_sizes)
+        constraints["max_overhead_bits"] = arguments.max_overhead_bits
+    return family.design_space(arguments.width, **constraints)
 
 
 def build_sweep(arguments, config: StudyConfig,
-                space: Optional[DesignSpace] = None,
-                template: bool = False) -> SweepSpec:
+                space=None, template: bool = False) -> SweepSpec:
     """Expand the CLI arguments into the sweep specification.
 
     With ``template=True`` the entries are just the exact baseline —
     the shape the adaptive search wants, replacing the entries batch by
     batch via :meth:`SweepSpec.with_entries`.
     """
+    family = get_family(arguments.family)
     space = space if space is not None else design_space(arguments)
     if template:
-        entries = [exact_entry(arguments.width)]
+        entries = [family.exact_entry(arguments.width)]
     else:
         max_designs = arguments.max_designs if arguments.max_designs > 0 else None
         entries = space.entries(max_designs=max_designs)
@@ -189,24 +194,32 @@ def build_sweep(arguments, config: StudyConfig,
         WorkloadSpec(kind=kind, length=length, width=arguments.width,
                      seed=arguments.seed + index)
         for index, kind in enumerate(arguments.workloads))
-    plan = sweep_clock_plan(tuple(cpr / 100.0 for cpr in arguments.clock_sweep))
+    plan = ClockPlan(safe_period=family.safe_period(arguments.width),
+                     cpr_levels=tuple(cpr / 100.0 for cpr in arguments.clock_sweep))
     return SweepSpec(entries=tuple(entries), clock_plan=plan, workloads=workloads,
                      simulator=arguments.simulator, engine=arguments.engine,
                      synthesis=config.synthesis, width=arguments.width)
 
 
-def frontier_table(ranked, total_candidates: int, top: int = 0) -> str:
+def frontier_table(ranked, total_candidates: int, top: int = 0,
+                   family=None) -> str:
     """The ranked-frontier report table."""
+    if family is None:
+        family = get_family("adder")
     rows = []
     shown = ranked if top <= 0 else ranked[:top]
     for rank, point in enumerate(shown, start=1):
-        nearest, distance = nearest_paper_design(point.quadruple)
+        annotation = family.annotate(point.quadruple)
         if point.is_exact:
             nearest_label = "exact (baseline)"
-        elif distance == 0:
-            nearest_label = f"{nearest} (paper design)"
+        elif annotation is None:
+            nearest_label = "—"
         else:
-            nearest_label = f"{nearest} (d={distance:.1f})"
+            nearest, distance = annotation
+            if distance == 0:
+                nearest_label = f"{nearest} (paper design)"
+            else:
+                nearest_label = f"{nearest} (d={distance:.1f})"
         rows.append((
             rank,
             point.design,
@@ -232,6 +245,7 @@ def run_exploration(arguments) -> str:
     """Run the full exploration and return the text report."""
     started = time.time()
     config = study_config(arguments)
+    family = get_family(arguments.family)
     space = design_space(arguments)
     spec = build_sweep(arguments, config, space=space, template=arguments.adaptive)
 
@@ -274,14 +288,17 @@ def run_exploration(arguments) -> str:
     candidates = aggregate_points(points)
     ranked = rank_frontier(pareto_frontier(candidates))
 
+    title = ("ISA design-space exploration" if arguments.family == "adder"
+             else f"{arguments.family} design-space exploration")
     sections: List[str] = [
-        "ISA design-space exploration",
+        title,
         f"space     : {space.describe()}",
         *mode_lines,
         f"workload  : {spec.workloads[0].length} vectors per trace, "
         f"simulator={spec.simulator}, engine={spec.engine}",
         "",
-        frontier_table(ranked, total_candidates=len(candidates), top=arguments.top),
+        frontier_table(ranked, total_candidates=len(candidates), top=arguments.top,
+                       family=family),
     ]
 
     elapsed = time.time() - started
@@ -311,7 +328,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.no_synth_cache and arguments.synth_cache_dir:
         parser.error("--no-synth-cache and --synth-cache-dir are mutually exclusive")
     if arguments.width < 2:
-        parser.error("--width must be at least 2 (a 1-bit adder has no quadruple space)")
+        parser.error("--width must be at least 2 (a 1-bit operand has no quadruple space)")
+    family = get_family(arguments.family)
+    if arguments.width > family.max_width:
+        parser.error(f"--width must be at most {family.max_width} for the "
+                     f"{arguments.family} family")
+    if arguments.family != "adder" and (arguments.block_sizes
+                                        or arguments.max_overhead_bits is not None):
+        parser.error("--block-sizes and --max-overhead-bits apply to the adder "
+                     "family only")
     if arguments.length < 16:
         parser.error("--length must be at least 16 vectors")
     if not 0.0 < arguments.budget_fraction <= 1.0:

@@ -62,6 +62,11 @@ class DesignSpace:
     max_reduction: Optional[int] = None
     max_overhead_bits: Optional[int] = None
 
+    #: Registry id resolving this space's operator family (class
+    #: attribute; the adaptive explorer and the CLI dispatch entry
+    #: construction and surrogate features through it).
+    family = "adder"
+
     def __post_init__(self) -> None:
         check_positive_int("width", self.width)
         for name in ("max_spec", "max_correction", "max_reduction", "max_overhead_bits"):

@@ -37,6 +37,7 @@ from repro.analysis.metrics import (
 from repro.core.combination import combine_errors
 from repro.exceptions import ConfigurationError
 from repro.experiments.designs import DesignEntry
+from repro.families import family_of
 from repro.runtime import (
     SIMULATORS,
     CharacterizationJob,
@@ -202,8 +203,10 @@ def _score_characterization(characterization: DesignCharacterization,
                             clock_plan: ClockPlan, width: int,
                             workload: str) -> List[SweepPoint]:
     entry = characterization.entry
-    quadruple = None if entry.is_exact else entry.config.quadruple
-    provably_exact = True if entry.is_exact else entry.config.is_provably_exact
+    family = family_of(entry)
+    quadruple = family.quadruple_of(entry)
+    provably_exact = family.is_provably_exact(entry)
+    result_width = family.result_width(width)
     cost = structural_cost(characterization.synthesized)
     diamond = characterization.diamond_words[1:]
     gold = characterization.gold_words[1:]
@@ -218,7 +221,7 @@ def _score_characterization(characterization: DesignCharacterization,
             workload=workload,
             cpr=cpr,
             clock_period=period,
-            stats=error_statistics(diamond, silver, width=width + 1),
+            stats=error_statistics(diamond, silver, width=result_width),
             structural_rms=rms["structural"],
             timing_rms=rms["timing"],
             cost=cost,

@@ -1,0 +1,61 @@
+"""Operator-family registry: pluggable operators for the whole pipeline.
+
+Every design entry carries a ``family`` attribute naming its
+:class:`~repro.families.base.OperatorFamily`; consumers resolve it here
+(``family_of(entry)``) and dispatch synthesis, golden references,
+design-space enumeration and feature extraction through the family
+object instead of hardcoding one operator.  Adder entries predate the
+registry and omit the attribute, so resolution defaults to ``"adder"``
+— their cache digests are unchanged by the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.families.base import OperatorFamily, Quadruple
+
+FAMILIES: Dict[str, OperatorFamily] = {}
+
+
+def register_family(family: OperatorFamily) -> OperatorFamily:
+    """Register one family under its ``family_id`` (last wins)."""
+    if not family.family_id:
+        raise ConfigurationError(
+            f"{type(family).__name__} has no family_id; set the class attribute")
+    FAMILIES[family.family_id] = family
+    return family
+
+
+def get_family(family_id: str) -> OperatorFamily:
+    """The registered family of one id, or a ConfigurationError."""
+    try:
+        return FAMILIES[family_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown operator family {family_id!r}; "
+            f"registered: {sorted(FAMILIES)}") from None
+
+
+def family_of(entry) -> OperatorFamily:
+    """The family owning one design entry (``"adder"`` when untagged)."""
+    return get_family(getattr(entry, "family", "adder"))
+
+
+def family_ids() -> Tuple[str, ...]:
+    """The registered family ids, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+from repro.families.adder import AdderFamily
+from repro.families.multiplier import MultiplierFamily
+
+register_family(AdderFamily())
+register_family(MultiplierFamily())
+
+__all__ = [
+    "FAMILIES", "OperatorFamily", "Quadruple", "AdderFamily",
+    "MultiplierFamily", "register_family", "get_family", "family_of",
+    "family_ids",
+]

@@ -1,0 +1,106 @@
+"""The Inexact Speculative Adder as the first registered operator family.
+
+This module re-homes the pipeline's original operator behind the
+:class:`~repro.families.base.OperatorFamily` protocol.  Every method is
+a thin delegation to the pre-existing adder machinery —
+:class:`~repro.core.exact.ExactAdder`,
+:class:`~repro.core.isa.InexactSpeculativeAdder`,
+:func:`~repro.synth.flow.exact_adder_netlist`, the entry constructors in
+:mod:`repro.experiments.designs`, the quadruple enumeration of
+:class:`~repro.explore.space.DesignSpace` and the surrogate features of
+:mod:`repro.explore.adaptive` — so the refactored consumers are
+bit-identical to the hardcoded paths they replace (pinned by the
+regression tests in ``tests/test_families.py``).
+
+The explore-layer imports are deliberately lazy: ``repro.explore``
+imports ``repro.runtime`` which resolves families through the registry,
+so importing them at module level would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exact import ExactAdder
+from repro.core.isa import InexactSpeculativeAdder
+from repro.experiments.designs import DesignEntry, exact_entry, isa_entry
+from repro.families.base import OperatorFamily, Quadruple
+from repro.synth.flow import SynthesisOptions, exact_adder_netlist
+
+
+class AdderFamily(OperatorFamily):
+    """The paper's operator: exact adder baseline plus the ISA space."""
+
+    family_id = "adder"
+    #: :class:`ExactAdder` caps the operand width at 62 bits so the
+    #: ``width + 1``-bit sums stay inside vectorised ``uint64`` words.
+    max_width = 62
+    default_width = 32
+
+    # ------------------------------------------------------------------ #
+    # Design entries
+    # ------------------------------------------------------------------ #
+    def exact_entry(self, width: int) -> DesignEntry:
+        return exact_entry(width)
+
+    def design_entry(self, quadruple: Sequence[int], width: int) -> DesignEntry:
+        return isa_entry(quadruple, width=width)
+
+    def quadruple_of(self, entry: DesignEntry) -> Optional[Quadruple]:
+        return None if entry.is_exact else entry.config.quadruple
+
+    def is_provably_exact(self, entry: DesignEntry) -> bool:
+        return True if entry.is_exact else entry.config.is_provably_exact
+
+    # ------------------------------------------------------------------ #
+    # Synthesis and golden references
+    # ------------------------------------------------------------------ #
+    def design_spec(self, entry: DesignEntry, width: int, options: SynthesisOptions):
+        if entry.is_exact:
+            return exact_adder_netlist(width, options.adder_architecture)
+        return entry.config
+
+    def exact_words(self, width: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ExactAdder(width).add_many(a, b)
+
+    def golden_words(self, entry: DesignEntry, width: int, a: np.ndarray,
+                     b: np.ndarray, collect_stats: bool = False,
+                     diamond: Optional[np.ndarray] = None):
+        if entry.is_exact:
+            base = diamond if diamond is not None else self.exact_words(width, a, b)
+            # Copy: a characterization must never alias its gold and
+            # diamond words to one buffer.
+            return base.copy(), None
+        model = InexactSpeculativeAdder(entry.config)
+        if collect_stats:
+            return model.add_many_with_stats(a, b)
+        return model.add_many(a, b), None
+
+    def result_width(self, width: int) -> int:
+        """The sum keeps the final carry out: ``width + 1`` bits."""
+        return width + 1
+
+    # ------------------------------------------------------------------ #
+    # Design-space enumeration and surrogate features
+    # ------------------------------------------------------------------ #
+    def design_space(self, width: int, **constraints):
+        from repro.explore.space import DesignSpace
+        return DesignSpace(width=width, **constraints)
+
+    @property
+    def surrogate_feature_names(self) -> Tuple[str, ...]:
+        from repro.explore.adaptive import SURROGATE_FEATURES
+        return SURROGATE_FEATURES
+
+    def surrogate_features(self, quadruples: np.ndarray, width: int) -> np.ndarray:
+        from repro.explore.adaptive import quadruple_features
+        return quadruple_features(quadruples, width)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def annotate(self, quadruple: Optional[Quadruple]) -> Optional[Tuple[str, float]]:
+        from repro.explore.pareto import nearest_paper_design
+        return nearest_paper_design(quadruple)

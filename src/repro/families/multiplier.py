@@ -1,0 +1,578 @@
+"""Approximate truncated/segmented array multiplier operator family.
+
+The second operator registered with :mod:`repro.families`, exercising
+every registry hook the adder uses — behavioural exact/golden models, a
+cell-library netlist generator, legal-design enumeration, surrogate
+features — through the unchanged sweep/cache/planner/Pareto pipeline.
+
+A design is a quadruple ``(truncation, segment, correction, row_skip)``
+applied to a ``width``-bit unsigned array multiplier computing
+``S = A * B + cin`` on a ``2 * width``-bit output bus:
+
+* ``truncation`` ``t`` drops every partial-product term ``a_i & b_j``
+  of weight below ``2**t`` (``i + j < t``) — the classical truncated
+  multiplier, trading the low output bits for area.
+* ``segment`` ``s`` cuts the row-accumulation carry chains at every bit
+  position divisible by ``s`` (``s`` divides ``2 * width``; ``0`` keeps
+  full carry propagation) — the multiplier analogue of the ISA's
+  speculative carry segmentation: each row is added segment-wise with
+  inter-segment carries dropped, shortening the critical path at the
+  cost of rare carry-loss errors.
+* ``correction`` adds the constant ``2**(t - 1)`` into the accumulator,
+  centring the truncation error around zero (requires ``t >= 2`` so the
+  constant does not collide with the carry-in bit).
+* ``row_skip`` ``r`` drops the ``r`` least-significant partial-product
+  rows entirely (the rows gated by ``a_0 .. a_{r-1}``).
+
+The carry-in operand rides along as a weight-0 addend seeding the
+accumulator (the operator is a fused ``a * b + cin``); it is never
+truncated, so every netlist input stays in use for every configuration.
+The behavioural model and the netlist generator mirror each other row
+by row — same row order, same segment boundaries, same correction
+constant — so their outputs are bit-identical on every input, which the
+pipeline's netlist-vs-golden cross-check (and the equivalence tests)
+enforce across the legal space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import Netlist
+from repro.exceptions import ConfigurationError
+from repro.families.base import OperatorFamily, Quadruple
+from repro.synth.flow import SynthesisOptions
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+#: Largest operand width whose ``2 * width``-bit products fit vectorised
+#: ``uint64`` arithmetic.
+MAX_MULTIPLIER_WIDTH = 31
+
+
+def legal_segment_sizes(width: int) -> Tuple[int, ...]:
+    """Segment sizes legal at one width: 0 plus divisors of ``2 * width``
+    in ``[2, width]`` (a 1-bit segment would drop every carry)."""
+    check_positive_int("width", width)
+    out = 2 * width
+    return (0,) + tuple(s for s in range(2, width + 1) if out % s == 0)
+
+
+@dataclass(frozen=True)
+class MultiplierConfig:
+    """Static description of one approximate array multiplier.
+
+    Parameters
+    ----------
+    width:
+        Operand width in bits; the product bus is ``2 * width`` bits.
+    truncation:
+        Partial-product terms of weight below ``2**truncation`` are
+        dropped (``0`` keeps every term).
+    segment:
+        Row-accumulation carry chains are cut at bit positions divisible
+        by ``segment`` (``0`` keeps full propagation; otherwise a
+        divisor of ``2 * width`` in ``[2, width]``).
+    correction:
+        ``1`` adds the constant ``2**(truncation - 1)`` into the
+        accumulator to centre the truncation error (requires
+        ``truncation >= 2``).
+    row_skip:
+        The ``row_skip`` least-significant partial-product rows are
+        dropped entirely.
+    """
+
+    width: int = 8
+    truncation: int = 0
+    segment: int = 0
+    correction: int = 0
+    row_skip: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int("width", self.width)
+        check_non_negative_int("truncation", self.truncation)
+        check_non_negative_int("segment", self.segment)
+        check_non_negative_int("row_skip", self.row_skip)
+        if self.width > MAX_MULTIPLIER_WIDTH:
+            raise ConfigurationError(
+                f"multiplier width is limited to {MAX_MULTIPLIER_WIDTH} bits so "
+                f"vectorised products fit in uint64, got {self.width}")
+        if self.truncation > self.width:
+            raise ConfigurationError(
+                f"truncation {self.truncation} cannot exceed width {self.width}: "
+                "dropping terms above the operand weight leaves no partial products")
+        if self.segment and self.segment not in legal_segment_sizes(self.width):
+            raise ConfigurationError(
+                f"segment {self.segment} is not legal at width {self.width}; "
+                f"legal sizes: {list(legal_segment_sizes(self.width))}")
+        if self.correction not in (0, 1):
+            raise ConfigurationError(
+                f"correction must be 0 or 1, got {self.correction}")
+        if self.correction and self.truncation < 2:
+            raise ConfigurationError(
+                "correction requires truncation >= 2: the constant 2**(t-1) "
+                "must sit above the carry-in bit")
+        if self.row_skip >= self.width:
+            raise ConfigurationError(
+                f"row_skip {self.row_skip} must leave at least one partial-product "
+                f"row at width {self.width}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def quadruple(self) -> Quadruple:
+        """The ``(truncation, segment, correction, row_skip)`` notation."""
+        return (self.truncation, self.segment, self.correction, self.row_skip)
+
+    @property
+    def is_provably_exact(self) -> bool:
+        """True when the architecture can never err on any input.
+
+        Every dropped partial-product term (truncation or row skip) and
+        every cut carry chain has inputs that defeat it; only the full
+        untruncated, unsegmented array is exact.
+        """
+        return (self.truncation == 0 and self.segment == 0
+                and self.row_skip == 0)
+
+    @property
+    def name(self) -> str:
+        """Design label, e.g. ``"mul(4,0,1,0)"``."""
+        return "mul({},{},{},{})".format(*self.quadruple)
+
+    @property
+    def label(self) -> str:
+        """Identifier-safe name, e.g. ``"mul8_4_0_1_0"``."""
+        return "mul{}_{}_{}_{}_{}".format(self.width, *self.quadruple)
+
+    @classmethod
+    def from_quadruple(cls, quadruple: Sequence[int], width: int = 8) -> "MultiplierConfig":
+        """Build a config from the quadruple notation."""
+        if len(quadruple) != 4:
+            raise ConfigurationError(
+                "multiplier quadruple must have 4 entries "
+                f"(truncation, segment, correction, row_skip), got {quadruple!r}")
+        truncation, segment, correction, row_skip = quadruple
+        return cls(width=width, truncation=truncation, segment=segment,
+                   correction=correction, row_skip=row_skip)
+
+
+@dataclass(frozen=True)
+class MultiplierEntry:
+    """One multiplier design column: a configuration or the exact baseline.
+
+    Mirrors :class:`~repro.experiments.designs.DesignEntry` structurally
+    (``name`` / ``config`` / ``is_exact``) but is a distinct dataclass:
+    the cache digests canonicalise entries with their dataclass name, so
+    multiplier jobs can never collide with adder jobs of the same shape.
+    """
+
+    name: str
+    config: Optional[MultiplierConfig]
+
+    #: Registry id resolving this entry's :class:`MultiplierFamily`
+    #: (a class attribute, not a dataclass field — the digest identity
+    #: of the entry is its name, config and dataclass tag).
+    family = "multiplier"
+
+    @property
+    def is_exact(self) -> bool:
+        """True for the exact (full-array) multiplier baseline."""
+        return self.config is None
+
+
+def exact_multiplier_entry(width: int = 8) -> MultiplierEntry:
+    """The exact-multiplier baseline column (labelled "exact")."""
+    return MultiplierEntry(name="exact", config=None)
+
+
+def multiplier_entry(quadruple: Sequence[int], width: int = 8) -> MultiplierEntry:
+    """A single multiplier column from its quadruple notation."""
+    config = MultiplierConfig.from_quadruple(tuple(quadruple), width=width)
+    return MultiplierEntry(name=config.name, config=config)
+
+
+# --------------------------------------------------------------------- #
+# Behavioural model
+# --------------------------------------------------------------------- #
+def _segmented_add(x: np.ndarray, y: np.ndarray, segment: int,
+                   result_width: int) -> np.ndarray:
+    """Add ``y`` into ``x`` with carry chains cut at segment boundaries.
+
+    ``segment == 0`` is a plain add (the values fit ``uint64`` by the
+    width cap, so no explicit modulo is needed); otherwise each
+    ``segment``-bit slice is added independently and its carry-out
+    dropped — exactly the netlist's per-row ripple with the carry reset
+    to constant 0 at every boundary.
+    """
+    if segment == 0:
+        return x + y
+    total = np.zeros_like(x)
+    seg_mask = np.uint64((1 << segment) - 1)
+    for low in range(0, result_width, segment):
+        shift = np.uint64(low)
+        piece = (((x >> shift) & seg_mask) + ((y >> shift) & seg_mask)) & seg_mask
+        total |= piece << shift
+    return total
+
+
+class ApproximateArrayMultiplier:
+    """Vectorised behavioural model of one :class:`MultiplierConfig`.
+
+    Accumulates the partial-product rows in row order through
+    :func:`_segmented_add`, mirroring the netlist generator gate for
+    gate, so the two are bit-identical on every operand vector.
+    """
+
+    def __init__(self, config: MultiplierConfig) -> None:
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        """Design label of the modelled configuration."""
+        return self.config.name
+
+    def multiply_many(self, a: np.ndarray, b: np.ndarray, cin: int = 0) -> np.ndarray:
+        """Products of two equal-length operand arrays (plus the carry-in)."""
+        config = self.config
+        width = config.width
+        a = _checked_operands("a", a, width)
+        b = _checked_operands("b", b, width)
+        if a.shape != b.shape:
+            raise ConfigurationError(
+                f"operand arrays must have equal shapes, got {a.shape} and {b.shape}")
+        if cin not in (0, 1):
+            raise ConfigurationError(f"cin must be 0 or 1, got {cin}")
+        result_width = 2 * width
+        acc = np.full_like(a, cin)
+        if config.correction:
+            acc = acc + np.uint64(1 << (config.truncation - 1))
+        one = np.uint64(1)
+        for row in range(config.row_skip, width):
+            keep_from = max(config.truncation - row, 0)
+            if keep_from >= width:
+                continue
+            keep_mask = np.uint64(((1 << width) - 1) & ~((1 << keep_from) - 1))
+            row_bit = (a >> np.uint64(row)) & one
+            row_word = (row_bit * (b & keep_mask)) << np.uint64(row)
+            acc = _segmented_add(acc, row_word, config.segment, result_width)
+        return acc
+
+
+class ExactMultiplier:
+    """Vectorised exact reference: ``a * b + cin`` on uint64 words."""
+
+    def __init__(self, width: int) -> None:
+        check_positive_int("width", width)
+        if width > MAX_MULTIPLIER_WIDTH:
+            raise ConfigurationError(
+                f"multiplier width is limited to {MAX_MULTIPLIER_WIDTH} bits so "
+                f"vectorised products fit in uint64, got {width}")
+        self.width = width
+
+    @property
+    def name(self) -> str:
+        """Design label of the exact baseline."""
+        return "exact"
+
+    def multiply_many(self, a: np.ndarray, b: np.ndarray, cin: int = 0) -> np.ndarray:
+        """Exact products of two equal-length operand arrays."""
+        a = _checked_operands("a", a, self.width)
+        b = _checked_operands("b", b, self.width)
+        if a.shape != b.shape:
+            raise ConfigurationError(
+                f"operand arrays must have equal shapes, got {a.shape} and {b.shape}")
+        if cin not in (0, 1):
+            raise ConfigurationError(f"cin must be 0 or 1, got {cin}")
+        return a * b + np.uint64(cin)
+
+
+def _checked_operands(label: str, values: np.ndarray, width: int) -> np.ndarray:
+    values = np.asarray(values, dtype=np.uint64)
+    if values.size and int(values.max()) >= (1 << width):
+        raise ConfigurationError(
+            f"operand {label} exceeds the {width}-bit multiplier range")
+    return values
+
+
+# --------------------------------------------------------------------- #
+# Netlist generator
+# --------------------------------------------------------------------- #
+def multiplier_netlist(config: MultiplierConfig) -> Netlist:
+    """Gate-level array multiplier matching the behavioural model exactly.
+
+    One AND gate per kept partial-product term; each row is folded into
+    the ``2 * width``-bit accumulator by a ripple of full adders whose
+    carry is reset to constant 0 at every segment boundary — the
+    structural transcription of :func:`_segmented_add`.  Truncated
+    accumulator positions stay constant (or pass the carry-in through),
+    which the optimizer and both timing simulators handle natively.
+    """
+    width = config.width
+    result_width = 2 * width
+    builder = NetlistBuilder(config.label)
+    a = builder.input_bus("A", width)
+    b = builder.input_bus("B", width)
+    cin = builder.input_bit("cin")
+
+    acc: List[str] = [builder.zero] * result_width
+    acc[0] = cin
+    if config.correction:
+        acc[config.truncation - 1] = builder.one
+
+    for row in range(config.row_skip, width):
+        keep_from = max(config.truncation - row, 0)
+        if keep_from >= width:
+            continue
+        carry = builder.zero
+        for position in range(row + keep_from, result_width):
+            if config.segment and position % config.segment == 0:
+                carry = builder.zero
+            # A carry out of this position is consumed only when the
+            # next position exists and is not past a segment boundary;
+            # otherwise build the sum alone so no gate dangles (the
+            # dropped carries are provably 0 or deliberately discarded,
+            # exactly as in ``_segmented_add``).
+            carry_used = position + 1 < result_width and not (
+                config.segment and (position + 1) % config.segment == 0)
+            column = position - row
+            if 0 <= column < width:
+                term = builder.and2(a[row], b[column])
+                if carry_used:
+                    acc[position], carry = builder.full_adder(
+                        acc[position], term, carry)
+                else:
+                    acc[position] = builder.xor2(
+                        builder.xor2(acc[position], term), carry)
+                    carry = builder.zero
+            elif carry != builder.zero:
+                if carry_used:
+                    acc[position], carry = builder.half_adder(acc[position], carry)
+                else:
+                    acc[position] = builder.xor2(acc[position], carry)
+                    carry = builder.zero
+            else:
+                break
+
+    builder.output_bus("S", acc)
+    return builder.build()
+
+
+def exact_multiplier_netlist(width: int) -> Netlist:
+    """The full (untruncated, unsegmented) array multiplier."""
+    config = MultiplierConfig(width=width)
+    netlist = multiplier_netlist(config)
+    netlist.name = f"mul{width}_exact"
+    return netlist
+
+
+# --------------------------------------------------------------------- #
+# Design-space enumeration
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MultiplierSpace:
+    """The legal multiplier quadruple space of one width, under constraints.
+
+    Duck-types :class:`~repro.explore.space.DesignSpace` — the explore
+    CLI and the adaptive search consume either through the same API.
+    The exact configuration ``(0, 0, 0, 0)`` is excluded (it is the
+    baseline the sweep layer appends explicitly).
+    """
+
+    width: int = 8
+    max_truncation: Optional[int] = None
+    max_row_skip: Optional[int] = None
+
+    #: Registry id resolving this space's family (class attribute).
+    family = "multiplier"
+
+    def __post_init__(self) -> None:
+        check_positive_int("width", self.width)
+        if self.width > MAX_MULTIPLIER_WIDTH:
+            raise ConfigurationError(
+                f"multiplier width is limited to {MAX_MULTIPLIER_WIDTH} bits so "
+                f"vectorised products fit in uint64, got {self.width}")
+        for name in ("max_truncation", "max_row_skip"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {value}")
+
+    # ------------------------------------------------------------------ #
+    def _truncation_limit(self) -> int:
+        if self.max_truncation is None:
+            return self.width
+        return min(self.width, self.max_truncation)
+
+    def _row_skip_limit(self) -> int:
+        if self.max_row_skip is None:
+            return self.width // 2
+        return min(self.width - 1, self.max_row_skip)
+
+    def iter_quadruples(self) -> Iterator[Quadruple]:
+        """Lazily yield every legal quadruple in sorted order."""
+        segments = legal_segment_sizes(self.width)
+        for truncation in range(self._truncation_limit() + 1):
+            for segment in segments:
+                for correction in (0, 1):
+                    if correction and truncation < 2:
+                        continue
+                    for row_skip in range(self._row_skip_limit() + 1):
+                        quadruple = (truncation, segment, correction, row_skip)
+                        if quadruple == (0, 0, 0, 0):
+                            continue
+                        yield quadruple
+
+    def quadruples(self) -> List[Quadruple]:
+        """Every legal quadruple of the space, sorted ascending."""
+        return list(self.iter_quadruples())
+
+    @property
+    def size(self) -> int:
+        """Number of legal quadruples in the space."""
+        return sum(1 for _ in self.iter_quadruples())
+
+    def select(self, max_designs: Optional[int] = None) -> List[Quadruple]:
+        """At most ``max_designs`` quadruples, evenly strided over the space.
+
+        The same deterministic stride as
+        :meth:`~repro.explore.space.DesignSpace.select`, so cached sweep
+        results stay reachable across runs.
+        """
+        quadruples = self.quadruples()
+        if max_designs is None or max_designs >= len(quadruples):
+            return quadruples
+        check_positive_int("max_designs", max_designs)
+        return [quadruples[(index * len(quadruples)) // max_designs]
+                for index in range(max_designs)]
+
+    def entries(self, max_designs: Optional[int] = None,
+                include_exact: bool = True) -> List[MultiplierEntry]:
+        """Design entries of the (subsampled) space, plus the exact baseline."""
+        entries = [multiplier_entry(quadruple, width=self.width)
+                   for quadruple in self.select(max_designs)]
+        if include_exact:
+            entries.append(exact_multiplier_entry(self.width))
+        return entries
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the space."""
+        constraints = []
+        for name in ("max_truncation", "max_row_skip"):
+            value = getattr(self, name)
+            if value is not None:
+                constraints.append(f"{name}={value}")
+        suffix = f" ({', '.join(constraints)})" if constraints else ""
+        return (f"{self.size} legal multiplier quadruples at width {self.width}, "
+                f"segments {list(legal_segment_sizes(self.width))}{suffix}")
+
+
+#: Names of the multiplier's surrogate features, in column order.
+MULTIPLIER_SURROGATE_FEATURES = (
+    "truncation", "segment", "correction", "row_skip", "dropped_terms",
+    "segment_count", "provably_exact", "truncation_ratio", "segment_ratio",
+    "row_skip_ratio", "correction_weight",
+)
+
+
+def multiplier_surrogate_features(quadruples: np.ndarray, width: int) -> np.ndarray:
+    """Surrogate feature matrix of multiplier quadruple rows.
+
+    Vectorised over a ``(candidates, 4)`` array: the raw knobs, the
+    analytic count of dropped partial-product terms, the number of carry
+    segments, the exactness guarantee and scale-free ratios comparable
+    across widths.
+    """
+    quadruples = np.asarray(quadruples, dtype=np.float64).reshape(-1, 4)
+    truncation, segment, correction, row_skip = quadruples.T
+    # Terms with i + j < t form a triangle (clipped to the operand
+    # width); skipped rows drop `width` terms each, minus the overlap
+    # already truncated.
+    tri = truncation * (truncation + 1) / 2.0
+    skip_terms = row_skip * float(width)
+    overlap = np.minimum(row_skip, truncation) * (
+        np.minimum(row_skip, truncation) + 1) / 2.0
+    dropped = tri + skip_terms - overlap
+    out_bits = 2.0 * width
+    segment_count = np.where(segment > 0, out_bits / np.maximum(segment, 1.0), 1.0)
+    provably_exact = ((truncation == 0) & (segment == 0)
+                      & (row_skip == 0)).astype(np.float64)
+    correction_weight = np.where(correction > 0, 2.0 ** (truncation - 1), 0.0)
+    return np.column_stack([
+        truncation, segment, correction, row_skip, dropped,
+        segment_count, provably_exact,
+        truncation / float(width), segment / out_bits,
+        row_skip / float(width), correction_weight,
+    ])
+
+
+# --------------------------------------------------------------------- #
+# The family object
+# --------------------------------------------------------------------- #
+class MultiplierFamily(OperatorFamily):
+    """Truncated/segmented array multipliers behind the registry protocol."""
+
+    family_id = "multiplier"
+    max_width = MAX_MULTIPLIER_WIDTH
+    default_width = 8
+
+    # ------------------------------------------------------------------ #
+    def exact_entry(self, width: int) -> MultiplierEntry:
+        return exact_multiplier_entry(width)
+
+    def design_entry(self, quadruple: Sequence[int], width: int) -> MultiplierEntry:
+        return multiplier_entry(quadruple, width=width)
+
+    def quadruple_of(self, entry: MultiplierEntry) -> Optional[Quadruple]:
+        return None if entry.is_exact else entry.config.quadruple
+
+    def is_provably_exact(self, entry: MultiplierEntry) -> bool:
+        return True if entry.is_exact else entry.config.is_provably_exact
+
+    # ------------------------------------------------------------------ #
+    def design_spec(self, entry: MultiplierEntry, width: int,
+                    options: SynthesisOptions) -> Netlist:
+        if entry.is_exact:
+            return exact_multiplier_netlist(width)
+        if entry.config.width != width:
+            raise ConfigurationError(
+                f"multiplier entry {entry.name} is {entry.config.width}-bit but the "
+                f"job is {width}-bit")
+        return multiplier_netlist(entry.config)
+
+    def exact_words(self, width: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ExactMultiplier(width).multiply_many(a, b)
+
+    def golden_words(self, entry: MultiplierEntry, width: int, a: np.ndarray,
+                     b: np.ndarray, collect_stats: bool = False,
+                     diamond: Optional[np.ndarray] = None):
+        # The multiplier has no structural fault statistics model;
+        # ``collect_stats`` requests simply return no stats.
+        if entry.is_exact:
+            base = diamond if diamond is not None else self.exact_words(width, a, b)
+            return base.copy(), None
+        return ApproximateArrayMultiplier(entry.config).multiply_many(a, b), None
+
+    def result_width(self, width: int) -> int:
+        """The product bus is ``2 * width`` bits."""
+        return 2 * width
+
+    def safe_period(self, width: int) -> float:
+        """Array-multiplier critical paths grow linearly in the width.
+
+        0.12 ns per operand bit sits just above the exact width-8
+        array's measured 0.887 ns critical path, so the zero-CPR anchor
+        is error-free while a 15 % reduction already overclocks the
+        exact baseline — the regime the study is about.
+        """
+        return 0.12e-9 * width
+
+    # ------------------------------------------------------------------ #
+    def design_space(self, width: int, **constraints) -> MultiplierSpace:
+        return MultiplierSpace(width=width, **constraints)
+
+    surrogate_feature_names = MULTIPLIER_SURROGATE_FEATURES
+
+    def surrogate_features(self, quadruples: np.ndarray, width: int) -> np.ndarray:
+        return multiplier_surrogate_features(quadruples, width)

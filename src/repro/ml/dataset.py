@@ -55,29 +55,37 @@ class BitDataset:
 
 
 def build_bit_datasets(trace: OperandTrace, gold_words: np.ndarray,
-                       timing_trace: TimingErrorTrace) -> List[BitDataset]:
-    """One :class:`BitDataset` per output bit of the adder.
+                       timing_trace: TimingErrorTrace,
+                       family=None) -> List[BitDataset]:
+    """One :class:`BitDataset` per output bit of the characterized design.
 
     Parameters
     ----------
     trace:
         The stimulus applied to the circuit (length ``T``).
     gold_words:
-        Golden outputs of the implemented adder for every vector
+        Golden outputs of the implemented design for every vector
         (length ``T``).
     timing_trace:
         Result of simulating the ``T - 1`` transitions at the unsafe
         clock period under study.
+    family:
+        The design's :class:`~repro.families.base.OperatorFamily`,
+        whose :meth:`~repro.families.base.OperatorFamily.feature_matrix`
+        extracts the per-bit features (default: the paper's
+        :func:`~repro.ml.features.build_feature_matrix`, which every
+        shipped family currently delegates to).
     """
     gold_words = np.asarray(gold_words, dtype=np.uint64)
     if timing_trace.cycles != trace.transitions:
         raise ModelError(
             f"timing trace has {timing_trace.cycles} transitions but the stimulus "
             f"has {trace.transitions}")
+    featurize = build_feature_matrix if family is None else family.feature_matrix
     error_bits = timing_trace.error_bits()
     datasets: List[BitDataset] = []
     for bit in range(timing_trace.output_width):
-        features = build_feature_matrix(trace, gold_words, bit)
+        features = featurize(trace, gold_words, bit)
         labels = error_bits[:, bit].astype(np.uint8)
         datasets.append(BitDataset(bit=bit, features=features, labels=labels))
     return datasets
@@ -106,14 +114,17 @@ def collect_bit_datasets(jobs: Sequence["CharacterizationJob"], backend="serial"
     the execution planner — dataset collection for one design over many
     traces is a single stacked simulation.
     """
-    from repro.runtime import run_jobs  # deferred: keeps repro.ml importable standalone
+    from repro.families import family_of  # deferred: keeps repro.ml importable standalone
+    from repro.runtime import run_jobs
 
     results = run_jobs(jobs, backend=backend, workers=workers, cache_dir=cache_dir,
                        plan=plan)
     collected: List[Dict[float, List[BitDataset]]] = []
     for job, characterization in zip(jobs, results):
+        family = family_of(job.entry)
         collected.append({
-            clock: build_bit_datasets(job.trace, characterization.gold_words, timing)
+            clock: build_bit_datasets(job.trace, characterization.gold_words, timing,
+                                      family=family)
             for clock, timing in characterization.timing_traces.items()
         })
     return collected

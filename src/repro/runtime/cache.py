@@ -91,7 +91,7 @@ DEFAULT_SHARD_TRANSITIONS = 65536
 
 def job_digest(job: CharacterizationJob) -> str:
     """Stable content digest of a characterization job's full identity."""
-    return digest_of({
+    payload = {
         "format": CACHE_FORMAT,
         "library_version": __version__,
         "entry": _canonical(job.entry),
@@ -103,7 +103,14 @@ def job_digest(job: CharacterizationJob) -> str:
         "clock_periods": _canonical(job.clock_periods),
         "synthesis": _canonical_synthesis(job.synthesis),
         "trace": trace_digest(job.trace),
-    })
+    }
+    # The operator family joins the key only for non-adder entries:
+    # adder digests predate the family registry and must stay
+    # byte-identical so existing caches remain warm.
+    family = getattr(job.entry, "family", "adder")
+    if family != "adder":
+        payload["family"] = family
+    return digest_of(payload)
 
 
 # --------------------------------------------------------------------- #

@@ -26,11 +26,11 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.exact import ExactAdder
-from repro.core.isa import InexactSpeculativeAdder, StructuralFaultStats
+from repro.core.isa import StructuralFaultStats
 from repro.exceptions import ConfigurationError
+from repro.families import family_of
 from repro.runtime.synth_cache import active_synth_cache
-from repro.synth.flow import SynthesisOptions, SynthesizedDesign, exact_adder_netlist, synthesize
+from repro.synth.flow import SynthesisOptions, SynthesizedDesign, synthesize
 from repro.timing.errors import TimingErrorTrace
 from repro.timing.event_sim import EventDrivenSimulator
 from repro.timing.fast_sim import ENGINES, FastTimingSimulator
@@ -144,12 +144,15 @@ class DesignCharacterization:
 # --------------------------------------------------------------------- #
 def synthesize_entry(entry: "DesignEntry", width: int,
                      options: SynthesisOptions) -> SynthesizedDesign:
-    """Synthesize one design entry (ISA or exact adder) with the flow options."""
+    """Synthesize one design entry with the flow options.
+
+    The entry's operator family decides what the flow materialises — a
+    behavioural configuration with a registered generator, or a ready
+    netlist (the exact baselines and all multiplier designs).
+    """
     with phase("synthesize"):
-        if entry.is_exact:
-            return synthesize(exact_adder_netlist(width, options.adder_architecture),
-                              options)
-        return synthesize(entry.config, options)
+        spec = family_of(entry).design_spec(entry, width, options)
+        return synthesize(spec, options)
 
 
 #: Process-wide memo of synthesized designs by synthesis identity.
@@ -227,18 +230,12 @@ def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
     netlist disagrees with the behavioural golden model.
     """
     trace = job.trace
+    family = family_of(job.entry)
     with phase("simulate"):
-        diamond = ExactAdder(job.width).add_many(trace.a, trace.b)
-
-        structural_stats = None
-        if job.entry.is_exact:
-            gold = diamond.copy()
-        else:
-            model = InexactSpeculativeAdder(job.entry.config)
-            if job.collect_structural_stats:
-                gold, structural_stats = model.add_many_with_stats(trace.a, trace.b)
-            else:
-                gold = model.add_many(trace.a, trace.b)
+        diamond = family.exact_words(job.width, trace.a, trace.b)
+        gold, structural_stats = family.golden_words(
+            job.entry, job.width, trace.a, trace.b,
+            collect_stats=job.collect_structural_stats, diamond=diamond)
 
         # Gate-level settled outputs from the compiled packed engine: the
         # netlist's own golden reference, checked against the behavioural one.

@@ -46,9 +46,8 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.exact import ExactAdder
-from repro.core.isa import InexactSpeculativeAdder
 from repro.exceptions import ConfigurationError
+from repro.families import family_of
 from repro.runtime.backends import (
     Backend,
     MultiprocessBackend,
@@ -125,18 +124,16 @@ def execute_group(jobs: Sequence[CharacterizationJob],
     traces = [job.trace for job in jobs]
     bounds = np.cumsum([0] + [trace.length for trace in traces])
 
+    family = family_of(job0.entry)
     with phase("simulate"):
         a = np.concatenate([trace.a for trace in traces])
         b = np.concatenate([trace.b for trace in traces])
-        diamond_all = ExactAdder(job0.width).add_many(a, b)
-        model = None
-        if job0.entry.is_exact:
-            # Copy, like golden_reference() does: a result must never
-            # alias its gold and diamond words to one buffer.
-            gold_all = diamond_all.copy()
-        else:
-            model = InexactSpeculativeAdder(job0.entry.config)
-            gold_all = model.add_many(a, b)
+        diamond_all = family.exact_words(job0.width, a, b)
+        # golden_words copies the exact baseline's diamond buffer, like
+        # golden_reference() does: a result must never alias its gold
+        # and diamond words to one buffer.
+        gold_all, _ = family.golden_words(job0.entry, job0.width, a, b,
+                                          diamond=diamond_all)
 
     batched = simulator.run_traces_multi(
         [_operands_of(trace) for trace in traces], job0.clock_periods,
@@ -148,10 +145,11 @@ def execute_group(jobs: Sequence[CharacterizationJob],
         diamond = diamond_all[low:high]
         gold = gold_all[low:high]
         structural_stats = None
-        if job.collect_structural_stats and model is not None:
+        if job.collect_structural_stats and not job0.entry.is_exact:
             with phase("simulate"):
-                gold, structural_stats = model.add_many_with_stats(job.trace.a,
-                                                                   job.trace.b)
+                gold, structural_stats = family.golden_words(
+                    job.entry, job.width, job.trace.a, job.trace.b,
+                    collect_stats=True)
         netlist_words = batched.settled_values[index]
         if not np.array_equal(netlist_words, gold):
             raise ConfigurationError(

@@ -88,13 +88,19 @@ def synth_digest(entry: "DesignEntry", width: int,
     synthesis options (library by value, variation seed normalised when
     ``variation_sigma == 0``) and the library version.
     """
-    return digest_of({
+    payload = {
         "format": SYNTH_CACHE_FORMAT,
         "library_version": __version__,
         "entry": _canonical(entry),
         "width": width,
         "synthesis": _canonical_synthesis(options),
-    })
+    }
+    # Same conditional-key rule as job_digest: only non-adder entries
+    # carry the family axis, keeping pre-registry adder digests warm.
+    family = getattr(entry, "family", "adder")
+    if family != "adder":
+        payload["family"] = family
+    return digest_of(payload)
 
 
 class SynthesisCache:

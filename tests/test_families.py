@@ -1,0 +1,230 @@
+"""Tests of the operator-family registry (repro.families).
+
+The contract under test: the registry resolves families by id and by
+entry (untagged adder entries included); every adder-path result of the
+refactored consumers is bit-identical to the pre-registry hardcoded
+paths — golden words, synthesized designs, and above all the cache
+digests, which are pinned against pre-refactor hex values so existing
+on-disk caches stay warm; and adder vs multiplier entries of equal
+width never collide in either digest keyspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactAdder
+from repro.core.isa import InexactSpeculativeAdder
+from repro.exceptions import ConfigurationError
+from repro.experiments.designs import DesignEntry, exact_entry, isa_entry
+from repro.families import (
+    AdderFamily,
+    FAMILIES,
+    MultiplierFamily,
+    family_ids,
+    family_of,
+    get_family,
+    register_family,
+)
+from repro.families.base import OperatorFamily
+from repro.families.multiplier import exact_multiplier_entry, multiplier_entry
+from repro.runtime.cache import job_digest
+from repro.runtime.jobs import CharacterizationJob, synthesize_entry
+from repro.runtime.synth_cache import synth_digest
+from repro.synth.flow import SynthesisOptions, exact_adder_netlist, synthesize
+from repro.workloads.generators import uniform_workload
+
+#: job/synth digests of two representative width-16 adder jobs, captured
+#: on the commit *before* the family registry existed.  They pin the
+#: no-silent-cache-invalidation guarantee: if any refactor moves them,
+#: every existing on-disk result and synthesis cache goes cold.
+PRE_REFACTOR_DIGESTS = {
+    "exact": ("d037d5a01765b80b93c32dd51f11a7900276cd8603cc931fd496d515db432672",
+              "e0f8ae6ffb2780b5870ca1eab812a3def6a2d2d641c5f6fbc25e97a0967bf59c"),
+    "(8,0,0,4)": ("4c7d50608dafeb9c6c33ff30749c5213beeb55c001f07d08f1b9ee90d16a2539",
+                  "02a8022b2ed4904d8bbe17aefeb02a4740d3e136bff341354bc0c615dcd1a85b"),
+}
+
+
+def pinned_job(entry, trace) -> CharacterizationJob:
+    """The exact job shape the pre-refactor digests were captured with."""
+    return CharacterizationJob(entry=entry, trace=trace, clock_periods=(3e-10,),
+                               simulator="fast", synthesis=SynthesisOptions(),
+                               width=16)
+
+
+class TestRegistry:
+    def test_both_families_registered(self):
+        assert family_ids() == ("adder", "multiplier")
+        assert isinstance(get_family("adder"), AdderFamily)
+        assert isinstance(get_family("multiplier"), MultiplierFamily)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown operator family"):
+            get_family("divider")
+
+    def test_family_of_resolves_tagged_and_untagged_entries(self):
+        assert isinstance(family_of(exact_entry(16)), AdderFamily)
+        assert isinstance(family_of(isa_entry((8, 0, 0, 4), width=16)), AdderFamily)
+        assert isinstance(family_of(exact_multiplier_entry(8)), MultiplierFamily)
+        assert isinstance(family_of(multiplier_entry((2, 0, 0, 0), width=8)),
+                          MultiplierFamily)
+
+    def test_untagged_objects_default_to_adder(self):
+        # Pre-registry pickles (e.g. cached jobs) have no family attr.
+        class Legacy:
+            pass
+        assert isinstance(family_of(Legacy()), AdderFamily)
+
+    def test_register_requires_family_id(self):
+        class Anonymous(MultiplierFamily):
+            family_id = ""
+        with pytest.raises(ConfigurationError, match="family_id"):
+            register_family(Anonymous())
+
+    def test_register_last_wins_and_restores(self):
+        original = FAMILIES["multiplier"]
+        replacement = MultiplierFamily()
+        try:
+            assert register_family(replacement) is replacement
+            assert get_family("multiplier") is replacement
+        finally:
+            register_family(original)
+
+    def test_family_attr_is_not_a_dataclass_field(self):
+        # The digest canonicaliser flattens dataclass *fields*; `family`
+        # must stay invisible to it on both entry types.
+        import dataclasses
+        for entry in (exact_entry(16), exact_multiplier_entry(8)):
+            assert "family" not in {f.name for f in dataclasses.fields(entry)}
+        assert DesignEntry.family == "adder"
+        assert exact_multiplier_entry(8).family == "multiplier"
+
+
+class TestDigestStability:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return uniform_workload(64, width=16, seed=123)
+
+    @pytest.mark.parametrize("label,entry", [
+        ("exact", exact_entry(16)),
+        ("(8,0,0,4)", isa_entry((8, 0, 0, 4), width=16)),
+    ])
+    def test_adder_digests_are_byte_identical_to_pre_refactor(self, trace, label, entry):
+        expected_job, expected_synth = PRE_REFACTOR_DIGESTS[label]
+        assert job_digest(pinned_job(entry, trace)) == expected_job
+        assert synth_digest(entry, 16, SynthesisOptions()) == expected_synth
+
+    def test_equal_width_families_never_collide(self, trace):
+        adder = exact_entry(16)
+        multiplier = exact_multiplier_entry(16)
+        options = SynthesisOptions()
+        assert (job_digest(pinned_job(adder, trace))
+                != job_digest(pinned_job(multiplier, trace)))
+        assert (synth_digest(adder, 16, options)
+                != synth_digest(multiplier, 16, options))
+
+    def test_multiplier_digest_carries_the_family_axis(self, trace):
+        # Distinct dataclass names already separate the payloads; the
+        # family key doubles the guarantee and keys future families that
+        # might reuse an entry type.
+        job = pinned_job(exact_multiplier_entry(16), trace)
+        assert job_digest(job) == job_digest(job)  # deterministic
+        assert job_digest(job) not in {
+            digest for pair in PRE_REFACTOR_DIGESTS.values() for digest in pair}
+
+
+class TestAdderBitIdentity:
+    """The adder family delegations against the hardcoded originals."""
+
+    @pytest.fixture(scope="class")
+    def operands(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 1 << 16, size=512, dtype=np.uint64)
+        b = rng.integers(0, 1 << 16, size=512, dtype=np.uint64)
+        return a, b
+
+    def test_exact_words_match_exact_adder(self, operands):
+        a, b = operands
+        family = get_family("adder")
+        assert np.array_equal(family.exact_words(16, a, b),
+                              ExactAdder(16).add_many(a, b))
+
+    def test_golden_words_match_isa_model(self, operands):
+        a, b = operands
+        family = get_family("adder")
+        entry = isa_entry((8, 0, 0, 4), width=16)
+        gold, stats = family.golden_words(entry, 16, a, b)
+        assert stats is None
+        assert np.array_equal(gold, InexactSpeculativeAdder(entry.config).add_many(a, b))
+        gold2, stats2 = family.golden_words(entry, 16, a, b, collect_stats=True)
+        expected, expected_stats = InexactSpeculativeAdder(
+            entry.config).add_many_with_stats(a, b)
+        assert np.array_equal(gold2, expected)
+        assert stats2.cycles == expected_stats.cycles
+        assert np.array_equal(stats2.fault_counts, expected_stats.fault_counts)
+        assert np.array_equal(stats2.position_counts, expected_stats.position_counts)
+
+    def test_exact_golden_copies_the_diamond(self, operands):
+        a, b = operands
+        family = get_family("adder")
+        diamond = family.exact_words(16, a, b)
+        gold, stats = family.golden_words(exact_entry(16), 16, a, b, diamond=diamond)
+        assert stats is None
+        assert np.array_equal(gold, diamond)
+        assert gold is not diamond  # never alias gold to the diamond buffer
+
+    def test_synthesize_entry_dispatch_matches_direct_flow(self):
+        options = SynthesisOptions()
+        via_registry = synthesize_entry(exact_entry(16), 16, options)
+        direct = synthesize(exact_adder_netlist(16, options.adder_architecture), options)
+        assert via_registry.netlist.gates == direct.netlist.gates
+        assert via_registry.timing_report.critical_path_delay == \
+            direct.timing_report.critical_path_delay
+        entry = isa_entry((8, 0, 0, 4), width=16)
+        via_registry = synthesize_entry(entry, 16, options)
+        direct = synthesize(entry.config, options)
+        assert via_registry.netlist.gates == direct.netlist.gates
+
+    def test_result_width_and_safe_period(self):
+        adder = get_family("adder")
+        assert adder.result_width(16) == 17
+        assert adder.safe_period(16) == pytest.approx(0.3e-9)
+        assert adder.max_width == 62
+
+
+class TestFamilyProtocol:
+    def test_surrogate_features_contain_the_guarantee_column(self):
+        for family_id in family_ids():
+            family = get_family(family_id)
+            names = tuple(family.surrogate_feature_names)
+            assert "provably_exact" in names
+            space = family.design_space(8)
+            quadruples = np.array(space.quadruples()[:5], dtype=np.int64)
+            features = family.surrogate_features(quadruples, 8)
+            assert features.shape == (quadruples.shape[0], len(names))
+
+    def test_design_space_duck_type(self):
+        for family_id in family_ids():
+            space = get_family(family_id).design_space(8)
+            assert space.family == family_id
+            assert space.size == len(space.quadruples())
+            assert list(space.iter_quadruples()) == space.quadruples()
+            selected = space.select(max_designs=5)
+            assert len(selected) == 5
+            entries = space.entries(max_designs=5)
+            assert len(entries) == 6 and entries[-1].is_exact
+            assert isinstance(space.describe(), str)
+
+    def test_describe(self):
+        assert "adder" in get_family("adder").describe()
+
+    def test_feature_hooks_delegate_to_ml(self):
+        from repro.ml.features import feature_names
+        family = get_family("adder")
+        assert family.feature_names(8) == feature_names(8)
+
+    def test_base_is_abstract(self):
+        with pytest.raises(TypeError):
+            OperatorFamily()
