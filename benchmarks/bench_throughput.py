@@ -19,7 +19,10 @@ Two entry points share this module:
   the multiplier space through the same cached pipeline), measures the
   adaptive frontier-guided search against the
   exhaustive width-16 sweep (frontier recall at a fifth of the space,
-  plus a warm re-run that must simulate nothing), and records
+  plus a warm re-run that must simulate nothing), measures the overhead
+  of full runtime telemetry (span tracing, metrics, run manifests) on a
+  batched sweep — tracing-on must stay within 2 % of tracing-off — and
+  records
   everything — with backend, worker count and host metadata — in
   ``BENCH_throughput.json`` at the repository root,
   so the performance trajectory of the simulation core is tracked
@@ -93,6 +96,11 @@ ADAPTIVE_RECALL_TARGET = 0.9
 #: Share of the width-16 quadruple space the adaptive search may
 #: simulate while clearing the recall bar.
 ADAPTIVE_BUDGET_FRACTION = 0.2
+
+#: Slowdown budget of full telemetry (span tracing, metrics, manifest)
+#: on a batched width-16 sweep: tracing-on must stay within 2 % of
+#: tracing-off (the acceptance bar of the observability PR).
+TELEMETRY_OVERHEAD_TARGET = 1.02
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
@@ -603,6 +611,83 @@ def run_synth_flow_comparison(width: int = 16, max_designs: int = 64,
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def run_telemetry_overhead_comparison(width: int = 16, max_designs: int = 16,
+                                      workloads: int = 8, length: int = 256,
+                                      repeats: int = 5) -> dict:
+    """Full telemetry vs none on a batched sweep: overhead must stay tiny.
+
+    Runs the same batched width-``width`` sweep twice per repeat —
+    tracing off (no ambient tracer, every ``phase()`` is a single
+    context-variable read) and tracing on (a full ``telemetry_run``
+    session with span tracing, the metrics registry, a ``--timings``
+    collector and a manifest written to a throwaway directory) — and
+    compares best-of wall times.  The results are asserted bit-identical
+    and the slowdown must stay within ``TELEMETRY_OVERHEAD_TARGET``
+    (2 %): observability has to be cheap enough to leave on.
+    """
+    import numpy as np  # noqa: F811 - keep the section self-contained
+
+    from repro.explore import DesignSpace, SweepSpec, sweep_clock_plan
+    from repro.obs import telemetry_run
+    from repro.runtime import PlannedBackend, SerialBackend
+    from repro.utils.phases import collect_phases
+    from repro.workloads.generators import WorkloadSpec
+
+    entries = DesignSpace(width=width).entries(max_designs=max_designs)
+    spec = SweepSpec(
+        entries=tuple(entries),
+        clock_plan=sweep_clock_plan(),
+        workloads=tuple(WorkloadSpec("uniform", length, width=width, seed=3 + index)
+                        for index in range(workloads)),
+        simulator="fast",
+        width=width,
+    )
+    jobs = spec.jobs()
+
+    def plain():
+        return PlannedBackend(SerialBackend()).run(jobs)
+
+    def traced(directory):
+        with telemetry_run(directory, command="bench-telemetry",
+                           config={"jobs": len(jobs)}):
+            with collect_phases():
+                return PlannedBackend(SerialBackend()).run(jobs)
+
+    telemetry_dir = tempfile.mkdtemp(prefix="repro-bench-telemetry-")
+    plain_s = traced_s = float("inf")
+    reference = observed = None
+    try:
+        # Interleave the two modes so host noise hits both sides alike.
+        for _ in range(repeats):
+            started = time.perf_counter()
+            reference = plain()
+            plain_s = min(plain_s, time.perf_counter() - started)
+            started = time.perf_counter()
+            observed = traced(telemetry_dir)
+            traced_s = min(traced_s, time.perf_counter() - started)
+    finally:
+        shutil.rmtree(telemetry_dir, ignore_errors=True)
+    for want, got in zip(reference, observed):
+        assert np.array_equal(want.gold_words, got.gold_words), \
+            f"telemetry perturbed {want.name} golden words"
+        assert np.array_equal(want.netlist_words, got.netlist_words), \
+            f"telemetry perturbed {want.name} netlist words"
+
+    overhead = traced_s / plain_s if plain_s > 0 else float("inf")
+    return {
+        "width": width,
+        "designs": len(spec.entries),
+        "workloads": workloads,
+        "jobs": spec.job_count,
+        "trace_cycles": length,
+        "plain_s": plain_s,
+        "traced_s": traced_s,
+        "overhead": overhead,
+        "overhead_target": TELEMETRY_OVERHEAD_TARGET,
+        "passed": overhead <= TELEMETRY_OVERHEAD_TARGET,
+    }
+
+
 def run_adaptive_search_comparison(width: int = 16, length: int = 128,
                                    cpr_levels=(0.0, 0.10), seed: int = 7) -> dict:
     """Adaptive frontier-guided search vs the exhaustive sweep.
@@ -835,6 +920,11 @@ def main(argv=None) -> int:
         max_designs=args.synth_designs, repeats=max(args.repeats - 1, 2))
     adaptive = record["results"]["adaptive_search"] = run_adaptive_search_comparison(
         length=args.adaptive_cycles)
+    # The two modes differ by a couple of percent at most, so the
+    # section needs a workload long enough (and enough best-of repeats)
+    # to resolve the ratio above host noise.
+    tele = record["results"]["telemetry_overhead"] = run_telemetry_overhead_comparison(
+        max_designs=8 if args.smoke else 16, repeats=max(args.repeats, 5))
     # The artifact's overall verdict covers every bar: the engine
     # speedup, (when the host can judge it) the backend speedup, the
     # batched planner being no slower than per-job execution, the
@@ -845,7 +935,8 @@ def main(argv=None) -> int:
     record["passed"] = (record["engine_passed"] and chars.get("passed", True)
                         and batched.get("passed", True)
                         and synth.get("passed", True)
-                        and adaptive.get("passed", True))
+                        and adaptive.get("passed", True)
+                        and tele.get("passed", True))
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
     single = record["results"]["fast_sim_single_clock"]
@@ -919,6 +1010,14 @@ def main(argv=None) -> int:
           f"{adaptive['budget_fraction_target'] * 100:g}% of the space)")
     print(f"  warm re-run     : {adaptive['warm_s'] * 1e3:8.1f} ms  "
           f"({adaptive['warm_simulated']} jobs simulated)")
+    print(f"telemetry overhead, {tele['designs']} designs x {tele['workloads']} "
+          f"workloads x 4 clock points, {tele['trace_cycles']} cycles "
+          f"(width {tele['width']}, batched serial):")
+    print(f"  tracing off     : {tele['plain_s'] * 1e3:8.1f} ms")
+    print(f"  tracing on      : {tele['traced_s'] * 1e3:8.1f} ms  "
+          f"(spans + metrics + manifest)")
+    print(f"  overhead        : {tele['overhead']:8.3f}x  "
+          f"(target <= {tele['overhead_target']:g}x)")
     print(f"[written to {args.output}]")
     return 0 if (record["passed"] or args.smoke) else 1
 

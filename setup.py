@@ -6,10 +6,14 @@
   (:func:`repro.experiments.runner.main`);
 * ``repro-explore`` — enumerate, sweep and Pareto-rank ISA design
   spaces through the cached job pipeline
-  (:func:`repro.explore.cli.main`).
+  (:func:`repro.explore.cli.main`);
+* ``repro-stats`` — summarise telemetry directories (run manifests,
+  phase totals, cache hit-rate trends, worker utilisation) and inspect
+  cache-directory inventories (:func:`repro.obs.stats_cli.main`).
 
 The modules also run without installation via ``PYTHONPATH=src
-python -m repro.experiments.runner`` / ``python -m repro.explore.cli``.
+python -m repro.experiments.runner`` / ``python -m repro.explore.cli``
+/ ``python -m repro.obs.stats_cli``.
 """
 
 import os
@@ -40,6 +44,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-explore=repro.explore.cli:main",
+            "repro-stats=repro.obs.stats_cli:main",
         ],
     },
 )

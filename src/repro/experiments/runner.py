@@ -37,6 +37,7 @@ from repro.experiments.fig9_rms import run_fig9
 from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
 from repro.families import family_ids, get_family
+from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
 from repro.runtime import BACKENDS, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
@@ -93,9 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append a phase breakdown (synthesize — split into "
                              "synth.optimize / synth.sizing / synth.sta sub-phases — "
                              "then lower / pack / simulate / score) to the footer; "
-                             "phases are measured in the driving process, so "
-                             "multiprocess worker time appears only as elapsed "
-                             "wall time")
+                             "multiprocess worker phases are merged back into the "
+                             "breakdown, with the driver's blocked time reported "
+                             "as schedule.wait")
+    parser.add_argument("--telemetry-dir", type=str, default=None, metavar="DIR",
+                        help="append a run manifest (config, host, phases, worker "
+                             "utilisation, cache metrics) to DIR/manifests.jsonl; "
+                             "summarise with repro-stats "
+                             "(default: $REPRO_TELEMETRY_DIR, or no telemetry)")
     parser.add_argument("--figures", nargs="+", default=["fig7", "fig8", "fig9", "fig10"],
                         choices=["fig7", "fig8", "fig9", "fig10"],
                         help="which figures to regenerate")
@@ -275,12 +281,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return run_all(config, arguments.figures)
         return run_family_study(config, arguments.family, width)
 
-    if arguments.timings:
-        with collect_phases() as phases:
+    with telemetry_run(resolve_telemetry_dir(arguments.telemetry_dir),
+                       command="repro-experiments",
+                       config={"family": arguments.family,
+                               "figures": list(arguments.figures),
+                               "simulator": arguments.simulator,
+                               "engine": arguments.engine,
+                               "scale": arguments.scale}):
+        if arguments.timings:
+            with collect_phases() as phases:
+                report = run()
+            report += f"\n(timings: {phases.describe()})"
+        else:
             report = run()
-        report += f"\n(timings: {phases.describe()})"
-    else:
-        report = run()
     print(report)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

@@ -28,8 +28,10 @@ each next batch toward the Pareto frontier::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.report import format_log_value, format_table
@@ -42,6 +44,7 @@ from repro.explore.pareto import (
 )
 from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep
 from repro.families import family_ids, get_family
+from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
 from repro.timing.clocking import ClockPlan
 from repro.runtime import BACKENDS, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
@@ -136,13 +139,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append a phase breakdown (synthesize — split into "
                              "synth.optimize / synth.sizing / synth.sta sub-phases — "
                              "then lower / pack / simulate / score) to the footer; "
-                             "phases are measured in the driving process, so "
-                             "multiprocess worker time appears only as elapsed "
-                             "wall time")
+                             "multiprocess worker phases are merged back into the "
+                             "breakdown, with the driver's blocked time reported "
+                             "as schedule.wait")
+    parser.add_argument("--telemetry-dir", type=str, default=None, metavar="DIR",
+                        help="append a run manifest (config, host, phases, worker "
+                             "utilisation, cache metrics) to DIR/manifests.jsonl; "
+                             "summarise with repro-stats "
+                             "(default: $REPRO_TELEMETRY_DIR, or no telemetry)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the exploration as structured JSON (frontier "
+                             "rows plus the run manifest) instead of the text report")
     parser.add_argument("--top", type=int, default=0, metavar="N",
                         help="print only the N best-ranked frontier rows (default: all)")
     parser.add_argument("--output", type=str, default=None,
-                        help="optional path for the text report (stdout is always printed)")
+                        help="optional path for the report (stdout is always printed)")
     return parser
 
 
@@ -201,6 +212,36 @@ def build_sweep(arguments, config: StudyConfig,
                      synthesis=config.synthesis, width=arguments.width)
 
 
+def nearest_paper_label(point, family) -> str:
+    """How close a frontier point sits to a hand-picked paper design."""
+    if point.is_exact:
+        return "exact (baseline)"
+    annotation = family.annotate(point.quadruple)
+    if annotation is None:
+        return "—"
+    nearest, distance = annotation
+    if distance == 0:
+        return f"{nearest} (paper design)"
+    return f"{nearest} (d={distance:.1f})"
+
+
+def frontier_rows(ranked, family) -> List[dict]:
+    """JSON-ready dicts of the ranked frontier (the ``--json`` payload)."""
+    return [{
+        "rank": rank,
+        "design": point.design,
+        "quadruple": list(point.quadruple) if point.quadruple else None,
+        "cpr": point.cpr,
+        "clock_period_s": point.clock_period,
+        "rms_re": point.rms_re,
+        "error_rate": point.error_rate,
+        "provably_exact": bool(point.provably_exact),
+        "gates": point.gates,
+        "area_proxy_s": point.area_proxy,
+        "nearest": nearest_paper_label(point, family),
+    } for rank, point in enumerate(ranked, start=1)]
+
+
 def frontier_table(ranked, total_candidates: int, top: int = 0,
                    family=None) -> str:
     """The ranked-frontier report table."""
@@ -209,17 +250,7 @@ def frontier_table(ranked, total_candidates: int, top: int = 0,
     rows = []
     shown = ranked if top <= 0 else ranked[:top]
     for rank, point in enumerate(shown, start=1):
-        annotation = family.annotate(point.quadruple)
-        if point.is_exact:
-            nearest_label = "exact (baseline)"
-        elif annotation is None:
-            nearest_label = "—"
-        else:
-            nearest, distance = annotation
-            if distance == 0:
-                nearest_label = f"{nearest} (paper design)"
-            else:
-                nearest_label = f"{nearest} (d={distance:.1f})"
+        nearest_label = nearest_paper_label(point, family)
         rows.append((
             rank,
             point.design,
@@ -241,8 +272,16 @@ def frontier_table(ranked, total_candidates: int, top: int = 0,
         rows, title=title)
 
 
-def run_exploration(arguments) -> str:
-    """Run the full exploration and return the text report."""
+@dataclass
+class ExplorationReport:
+    """Text report plus the structured payload of one exploration run."""
+
+    text: str
+    payload: dict
+
+
+def run_exploration(arguments) -> ExplorationReport:
+    """Run the full exploration; returns the report text and JSON payload."""
     started = time.time()
     config = study_config(arguments)
     family = get_family(arguments.family)
@@ -316,7 +355,21 @@ def run_exploration(arguments) -> str:
         f"({explored_note} in "
         f"{elapsed:.1f} s, backend={backend.describe()}, seed={arguments.seed}"
         f"{cache_note})")
-    return "\n".join(sections)
+
+    payload = {
+        "family": arguments.family,
+        "width": arguments.width,
+        "space": space.describe(),
+        "mode": "adaptive" if arguments.adaptive else "sweep",
+        "explored": explored_note,
+        "candidates": len(candidates),
+        "frontier_size": len(ranked),
+        "backend": backend.describe(),
+        "seed": arguments.seed,
+        "elapsed_s": elapsed,
+        "frontier": frontier_rows(ranked, family),
+    }
+    return ExplorationReport(text="\n".join(sections), payload=payload)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -347,16 +400,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--batch-size must be at least 1 design")
     if arguments.rounds < 0:
         parser.error("--rounds must be non-negative")
-    if arguments.timings:
-        with collect_phases() as phases:
+    with telemetry_run(resolve_telemetry_dir(arguments.telemetry_dir),
+                       command="repro-explore",
+                       config={"family": arguments.family,
+                               "width": arguments.width,
+                               "adaptive": arguments.adaptive,
+                               "workloads": list(arguments.workloads),
+                               "length": arguments.length},
+                       inline=arguments.json) as telemetry:
+        if arguments.timings:
+            with collect_phases() as phases:
+                report = run_exploration(arguments)
+            report.text += f"\n(timings: {phases.describe()})"
+        else:
             report = run_exploration(arguments)
-        report += f"\n(timings: {phases.describe()})"
+    if arguments.json:
+        payload = dict(report.payload)
+        if telemetry.manifest is not None:
+            payload["manifest"] = telemetry.manifest
+        output = json.dumps(payload, indent=2, sort_keys=True)
     else:
-        report = run_exploration(arguments)
-    print(report)
+        output = report.text
+    print(output)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
+            handle.write(output + "\n")
     return 0
 
 

@@ -231,7 +231,8 @@ def _score_characterization(characterization: DesignCharacterization,
 
 
 def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
-              cache_dir: Optional[str] = None, plan: bool = True) -> SweepResult:
+              cache_dir: Optional[str] = None, plan: bool = True,
+              telemetry_dir: Optional[str] = None) -> SweepResult:
     """Expand a sweep spec and run it through the job pipeline.
 
     ``backend`` is a backend name or an owned :class:`Backend` instance
@@ -248,16 +249,29 @@ def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
     caching/planned stack is used as given.  The stacking (and the
     ownership of backends constructed from names) is exactly
     :func:`~repro.runtime.run_jobs`.
-    """
-    characterizations = run_jobs(spec.jobs(), backend=backend, workers=workers,
-                                 cache_dir=cache_dir, plan=plan)
 
-    points: List[SweepPoint] = []
-    index = 0
-    for workload in spec.workloads:
-        for _ in spec.entries:
-            points.extend(score_characterization(
-                characterizations[index], spec.clock_plan, spec.width,
-                workload=workload.kind))
-            index += 1
-    return SweepResult(spec=spec, points=points)
+    ``telemetry_dir`` (or ``$REPRO_TELEMETRY_DIR``) appends one run
+    manifest covering the whole sweep — expansion, execution *and*
+    scoring — unless an outer telemetry session (a CLI) already
+    observes it (see :mod:`repro.obs.manifest`).
+    """
+    from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
+    with telemetry_run(resolve_telemetry_dir(telemetry_dir),
+                       command="run_sweep",
+                       config={"sweep": spec.describe(),
+                               "backend": getattr(backend, "name", str(backend)),
+                               "workers": workers,
+                               "cache_dir": str(cache_dir) if cache_dir else None,
+                               "plan": plan}):
+        characterizations = run_jobs(spec.jobs(), backend=backend, workers=workers,
+                                     cache_dir=cache_dir, plan=plan)
+
+        points: List[SweepPoint] = []
+        index = 0
+        for workload in spec.workloads:
+            for _ in spec.entries:
+                points.extend(score_characterization(
+                    characterizations[index], spec.clock_plan, spec.width,
+                    workload=workload.kind))
+                index += 1
+        return SweepResult(spec=spec, points=points)

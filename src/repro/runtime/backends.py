@@ -26,6 +26,8 @@ cross-check failure) — scheduling does not swallow errors.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -34,6 +36,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.compiled import WORD_BITS, transition_chunks
 from repro.exceptions import ConfigurationError
+from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
+from repro.obs.metrics import metric_count
+from repro.obs.spill import drain_spill_dir, spilled_call, telemetry_active
 from repro.runtime.jobs import (
     CharacterizationJob,
     DesignCharacterization,
@@ -44,6 +49,7 @@ from repro.runtime.jobs import (
     run_timing,
     synthesize_job,
 )
+from repro.utils.phases import phase
 
 #: Names accepted by :func:`get_backend` (and ``StudyConfig.backend``).
 BACKENDS = ("serial", "multiprocess")
@@ -145,6 +151,9 @@ class Backend:
     def close(self) -> None:
         """Release held resources (worker pools); idempotent, no-op by default."""
 
+    def drain_telemetry(self) -> None:
+        """Merge any worker-side telemetry spills; no-op for in-process backends."""
+
 
 class SerialBackend(Backend):
     """Run every job in the calling process, one after the other.
@@ -158,6 +167,7 @@ class SerialBackend(Backend):
     name = "serial"
 
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
+        metric_count("jobs.simulated", len(jobs))
         simulators: Dict[tuple, object] = {}
         results: List[DesignCharacterization] = []
         for job in jobs:
@@ -263,6 +273,12 @@ class MultiprocessBackend(Backend):
         self.workers = workers if workers is not None else cpus
         self.chunk_transitions = chunk_transitions
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Telemetry spill: per-worker JSONL files the driver merges back
+        # (created lazily when a task is submitted under active
+        # telemetry, removed by close()).  Offsets track the bytes each
+        # drain already consumed, so draining is safe mid-batch.
+        self._spill_dir: Optional[str] = None
+        self._spill_offsets: Dict[str, int] = {}
 
     def describe(self) -> str:
         return f"multiprocess[{self.workers}]"
@@ -283,6 +299,10 @@ class MultiprocessBackend(Backend):
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._spill_offsets = {}
 
     def __enter__(self) -> "MultiprocessBackend":
         return self
@@ -306,22 +326,39 @@ class MultiprocessBackend(Backend):
         jobs; callers own the future and must handle
         :class:`~concurrent.futures.process.BrokenProcessPool` like
         :meth:`run` does (close the backend, then re-raise).
+
+        When telemetry is active in the submitting context, the task is
+        wrapped so the worker records its own spans/metrics and spills
+        them for :meth:`drain_telemetry` to merge — callers get worker
+        attribution for free.
         """
+        if telemetry_active():
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix="repro-obs-spill-")
+            return self._executor().submit(spilled_call, self._spill_dir,
+                                           function, *args)
         return self._executor().submit(function, *args)
+
+    def drain_telemetry(self) -> None:
+        """Merge completed workers' spilled spans/metrics into ambient state."""
+        if self._spill_dir is not None:
+            drain_spill_dir(self._spill_dir, self._spill_offsets)
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[object]:
         tasks = list(tasks)
         if not tasks:
             return []
-        pool = self._executor()
         try:
-            futures = [pool.submit(_golden_task if isinstance(task, GoldenTask)
+            futures = [self.submit(_golden_task if isinstance(task, GoldenTask)
                                    else _timing_chunk_task, task.job)
                        for task in tasks]
-            return [future.result() for future in futures]
+            with phase("schedule.wait"):
+                results = [future.result() for future in futures]
         except BrokenProcessPool:
             self.close()
             raise
+        self.drain_telemetry()
+        return results
 
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         jobs = list(jobs)
@@ -337,24 +374,26 @@ class MultiprocessBackend(Backend):
         # ``chunk_transitions`` always forces the split (the determinism
         # tests rely on it).  Either way results are bit-identical.
         split = self.chunk_transitions is not None or len(jobs) < self.workers
-        pool = self._executor()
+        metric_count("jobs.simulated", len(jobs))
         try:
             if not split:
-                futures = [pool.submit(_whole_job_task, job) for job in jobs]
-                results = [future.result() for future in futures]
+                futures = [self.submit(_whole_job_task, job) for job in jobs]
+                with phase("schedule.wait"):
+                    results = [future.result() for future in futures]
                 for job, result in zip(jobs, results):
                     result.trace = job.trace
-                return results
-            return self._run_split(pool, jobs)
+            else:
+                results = self._run_split(jobs)
         except BrokenProcessPool:
             # A broken pool (worker killed mid-task) is not recoverable;
             # drop it so the next run starts fresh.  Ordinary job errors
             # propagate with the warm pool intact.
             self.close()
             raise
+        self.drain_telemetry()
+        return results
 
-    def _run_split(self, pool: ProcessPoolExecutor,
-                   jobs: List[CharacterizationJob]) -> List[DesignCharacterization]:
+    def _run_split(self, jobs: List[CharacterizationJob]) -> List[DesignCharacterization]:
         # Plan: per job, one golden task plus one timing task per chunk.
         # A chunk over transitions [start, stop) needs input vectors
         # [start, stop] — one vector of overlap with its predecessor.
@@ -362,18 +401,23 @@ class MultiprocessBackend(Backend):
             transition_chunks(job.trace.transitions, self._chunk_size(job.trace.transitions))
             for job in jobs
         ]
-        golden_futures = [pool.submit(_golden_task, job) for job in jobs]
+        golden_futures = [self.submit(_golden_task, job) for job in jobs]
         chunk_futures = [
-            [pool.submit(_timing_chunk_task,
+            [self.submit(_timing_chunk_task,
                          job.with_trace(job.trace.slice(start, stop + 1)))
              for start, stop in spans[index]]
             for index, job in enumerate(jobs)
         ]
+        # Gather every raw worker result under one wait phase, then merge
+        # chunks driver-side — the merge is local compute, not waiting.
+        with phase("schedule.wait"):
+            golden_results = [future.result() for future in golden_futures]
+            chunk_results = [[future.result() for future in futures]
+                             for futures in chunk_futures]
         results: List[DesignCharacterization] = []
         for index, job in enumerate(jobs):
-            synthesized, diamond, gold, stats, netlist_words = golden_futures[index].result()
-            timing_traces = merge_timing_chunks(
-                future.result() for future in chunk_futures[index])
+            synthesized, diamond, gold, stats, netlist_words = golden_results[index]
+            timing_traces = merge_timing_chunks(iter(chunk_results[index]))
             results.append(DesignCharacterization(
                 entry=job.entry,
                 synthesized=synthesized,
@@ -409,12 +453,19 @@ def get_backend(backend, workers: Optional[int] = None) -> Backend:
 def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
              workers: Optional[int] = None,
              cache_dir: Optional[str] = None,
-             plan: bool = True) -> List[DesignCharacterization]:
+             plan: bool = True,
+             telemetry_dir: Optional[str] = None) -> List[DesignCharacterization]:
     """Run a batch of characterization jobs on the requested backend.
 
     ``cache_dir`` fronts the backend with the persistent on-disk result
     cache of :mod:`repro.runtime.cache`: hits skip execution entirely,
     misses run on the backend and are persisted for the next call.
+
+    ``telemetry_dir`` (or ``$REPRO_TELEMETRY_DIR``) appends a run
+    manifest — phases, spans, worker utilisation, metrics — to the
+    given directory (see :mod:`repro.obs.manifest`).  When an outer
+    telemetry session is already active (a CLI, or ``run_sweep``), the
+    batch is observed by it and no extra manifest is written.
 
     ``plan`` (default on) routes the batch through the execution planner
     of :mod:`repro.runtime.plan`: jobs sharing a design and clock plan
@@ -442,8 +493,15 @@ def run_jobs(jobs: Sequence[CharacterizationJob], backend="serial",
         resolved = PlannedBackend(resolved)
     if cache_dir is not None:
         resolved = CachingBackend(resolved, cache_dir)
-    try:
-        return resolved.run(jobs)
-    finally:
-        if owns_inner:
-            inner.close()
+    jobs = list(jobs)
+    with telemetry_run(resolve_telemetry_dir(telemetry_dir),
+                       command="run_jobs",
+                       config={"backend": resolved.describe(),
+                               "jobs": len(jobs),
+                               "cache_dir": str(cache_dir) if cache_dir else None,
+                               "plan": plan}):
+        try:
+            return resolved.run(jobs)
+        finally:
+            if owns_inner:
+                inner.close()

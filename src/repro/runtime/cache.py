@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro._version import __version__
 from repro.circuit.compiled import transition_chunks
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import record_counter_deltas
 from repro.runtime.backends import (
     Backend,
     GoldenTask,
@@ -196,6 +197,7 @@ class CachingBackend(Backend):
     # ------------------------------------------------------------------ #
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         misses_before = self.stats.misses
+        stats_before = self.stats.snapshot()
         plans = [self._plan(job) for job in jobs]
 
         # One delegated batch per granularity covering every miss —
@@ -240,6 +242,8 @@ class CachingBackend(Backend):
             # "the batch grew the store"; the budget is then enforced
             # once per batch, not once per write.
             self.store.prune_to_limit()
+        record_counter_deltas(
+            "cache", dataclasses.asdict(self.stats.since(stats_before)))
         return results
 
     # ------------------------------------------------------------------ #

@@ -150,7 +150,7 @@ def synthesize_entry(entry: "DesignEntry", width: int,
     behavioural configuration with a registered generator, or a ready
     netlist (the exact baselines and all multiplier designs).
     """
-    with phase("synthesize"):
+    with phase("synthesize", design=entry.name, width=width):
         spec = family_of(entry).design_spec(entry, width, options)
         return synthesize(spec, options)
 
@@ -210,7 +210,8 @@ def build_simulator(kind: str, synthesized: SynthesizedDesign, engine: str = "au
     specialisation follows the ``REPRO_SYNTH_VECTOR`` toggle so the
     reference path reproduces the unspecialised lowering.
     """
-    with phase("lower"):
+    with phase("lower", simulator=kind, engine=engine,
+               clocks=len(clock_periods) if clock_periods else 0):
         if kind == "event":
             return EventDrivenSimulator(synthesized.netlist, synthesized.annotation)
         if kind == "fast":
@@ -231,7 +232,7 @@ def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
     """
     trace = job.trace
     family = family_of(job.entry)
-    with phase("simulate"):
+    with phase("simulate", design=job.name, transitions=trace.length):
         diamond = family.exact_words(job.width, trace.a, trace.b)
         gold, structural_stats = family.golden_words(
             job.entry, job.width, trace.a, trace.b,
@@ -250,7 +251,8 @@ def golden_reference(job: CharacterizationJob, synthesized: SynthesizedDesign):
 
 def run_timing(job: CharacterizationJob, simulator) -> Dict[float, TimingErrorTrace]:
     """Run the job's timing simulation over its (possibly sliced) trace."""
-    with phase("simulate"):
+    with phase("simulate", transitions=job.trace.length,
+               clocks=len(job.clock_periods)):
         return simulator.run_trace_multi(job.trace.as_operands(), job.clock_periods,
                                          output_bus=job.output_bus)
 

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.families import family_of
+from repro.obs.metrics import metric_count, metric_observe
 from repro.runtime.backends import (
     Backend,
     MultiprocessBackend,
@@ -117,6 +118,7 @@ def execute_group(jobs: Sequence[CharacterizationJob],
     """
     jobs = list(jobs)
     job0 = jobs[0]
+    metric_count("jobs.simulated", len(jobs))
     if synthesized is None:
         synthesized = synthesize_job(job0)
     if simulator is None:
@@ -125,7 +127,8 @@ def execute_group(jobs: Sequence[CharacterizationJob],
     bounds = np.cumsum([0] + [trace.length for trace in traces])
 
     family = family_of(job0.entry)
-    with phase("simulate"):
+    with phase("simulate", design=job0.name, jobs=len(jobs),
+               transitions=int(bounds[-1])):
         a = np.concatenate([trace.a for trace in traces])
         b = np.concatenate([trace.b for trace in traces])
         diamond_all = family.exact_words(job0.width, a, b)
@@ -353,6 +356,7 @@ class PlannedBackend(Backend):
                 simulator=job0.simulator, engine=job0.engine,
                 output_bus=job0.output_bus, clock_periods=job0.clock_periods,
                 members=tuple(members), timing_only=timing_only))
+        metric_count("plan.traces_interned", len(paths))
         return specs
 
     @staticmethod
@@ -388,6 +392,10 @@ class PlannedBackend(Backend):
         the pool has one task per worker, so a batch with fewer groups
         than workers still parallelises.
         """
+        if batched:
+            metric_count("plan.groups", len(batched))
+            for indices in batched:
+                metric_observe("plan.group_size", len(indices))
         if isinstance(self.inner, MultiprocessBackend) and batched:
             batched = self._subdivide(batched, self.inner.workers)
             spill_dir = tempfile.mkdtemp(prefix="repro-plan-traces-")
@@ -397,12 +405,15 @@ class PlannedBackend(Backend):
                     futures = [self.inner.submit(_planned_group_task, spec)
                                for spec in specs]
                     passthrough_fn()
-                    for indices, future in zip(batched, futures):
-                        for index, outcome in zip(indices, future.result()):
+                    with phase("schedule.wait"):
+                        gathered = [future.result() for future in futures]
+                    for indices, outcomes in zip(batched, gathered):
+                        for index, outcome in zip(indices, outcomes):
                             results[index] = outcome
                 except BrokenProcessPool:
                     self.inner.close()
                     raise
+                self.inner.drain_telemetry()
                 if not timing_only:
                     for indices in batched:
                         for index in indices:

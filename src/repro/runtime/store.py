@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.circuit.library import TechnologyLibrary
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import active_registries, metric_count
 
 #: Bumped whenever a stored payload layout changes; old entries are
 #: then unreadable by design and silently recomputed.  Caches layer
@@ -273,6 +274,8 @@ class ResultStore:
                 pass
             raise
         self._note_write(path, replaced, observation)
+        if active_registries():
+            metric_count("store.bytes_written", self._size_of(path))
 
     def write_meta(self, digest: str, meta: dict) -> None:
         """Best-effort ``meta.json`` describing the entry for humans."""
@@ -477,4 +480,6 @@ class ResultStore:
             total -= size
             removed += 1
         self.stats.pruned += removed
+        if removed:
+            metric_count("store.entries_pruned", removed)
         return removed

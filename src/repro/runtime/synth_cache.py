@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import metric_count
 from repro.runtime.store import (
     CacheStats,
     ResultStore,
@@ -132,8 +133,10 @@ class SynthesisCache:
         payload = self.store.load(self.store.result_path(digest))
         if payload is not None:
             self.stats.hits += 1
+            metric_count("synth_cache.hits")
             return payload
         self.stats.misses += 1
+        metric_count("synth_cache.misses")
         return None
 
     def store_design(self, entry: "DesignEntry", width: int,

@@ -10,31 +10,46 @@ or sweep metrics).  The ``--timings`` flag of ``repro-experiments`` and
 can name the hot phase without a profiler.
 
 Dotted names are *sub-phases*: ``synth.optimize``, ``synth.sizing`` and
-``synth.sta`` break the synthesis flow down into its passes.  They are
-reported alongside the top-level phases but excluded from
-:meth:`PhaseTimes.total` — their time already lives inside their parent
-phase, and counting it twice would overstate the attributed total.
+``synth.sta`` break the synthesis flow down into its passes, and
+``schedule.wait`` is the driver-side time spent blocked on worker
+futures.  They are reported alongside the top-level phases but excluded
+from :meth:`PhaseTimes.total` — sub-phase time already lives inside a
+parent phase, and scheduling wait overlaps the worker compute the
+merged phases attribute, so counting either would overstate the total.
 
-Timing is opt-in and close to free when off: :func:`phase` reads one
-module global and yields immediately unless a collector installed by
-:func:`collect_phases` is active.  Phases are recorded in the process
-that executes them — under the multiprocess backend the worker-side
-phases stay in the workers, so a driving process reports its own
-(scheduling-side) share only.
+Phase timing is a thin compatibility layer over the span tracer of
+:mod:`repro.obs.trace`: :func:`phase` *is* :func:`repro.obs.trace.span`
+(so phases nest into span paths and feed any ambient tracer), and
+:func:`collect_phases` installs a tracer whose sink is the yielded
+:class:`PhaseTimes`.  Activation is context-local (:mod:`contextvars`),
+so concurrent collectors — separate threads, or nested blocks — are
+thread-safe and re-entrant: a collector only ever observes spans of its
+own context, and nested collectors *stack* (an inner block's phases are
+also observed by outer collectors and tracers).
+
+Under the multiprocess backend, worker-side phases are spilled per
+worker and merged back at batch end (:mod:`repro.obs.spill`), so the
+``--timings`` breakdown attributes worker compute — not just the
+driver's ``schedule.wait`` — whenever a collector or tracer is active.
+
+Timing stays opt-in and close to free when off: :func:`phase` reads one
+context variable and yields immediately unless a collector (or tracer)
+is active.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterator, Sequence
+
+from repro.obs.trace import Tracer, span, trace_run
 
 #: Canonical report order of the pipeline phases (dotted names are
-#: sub-phases nested inside the phase before them).
+#: sub-phases nested inside the phase before them; ``schedule.wait`` is
+#: the driver's blocked-on-workers time, overlapping merged worker
+#: phases rather than nesting in one).
 PHASES = ("synthesize", "synth.optimize", "synth.sizing", "synth.sta",
-          "lower", "pack", "simulate", "score")
-
-_ACTIVE: Optional["PhaseTimes"] = None
+          "lower", "pack", "simulate", "score", "schedule.wait")
 
 
 class PhaseTimes:
@@ -49,11 +64,17 @@ class PhaseTimes:
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
         self.calls[name] = self.calls.get(name, 0) + 1
 
+    def merge(self, name: str, elapsed: float, calls: int) -> None:
+        """Fold a pre-aggregated batch of regions (worker spill merge)."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + calls
+
     def total(self) -> float:
         """Sum of every attributed top-level phase.
 
-        Dotted sub-phases (``synth.*``) are excluded — their time is
-        already inside their parent phase.
+        Dotted sub-phases (``synth.*``, ``schedule.wait``) are excluded
+        — their time is already inside a parent phase, or overlaps the
+        worker compute merged into the top-level phases.
         """
         return sum(elapsed for name, elapsed in self.seconds.items()
                    if "." not in name)
@@ -68,36 +89,23 @@ class PhaseTimes:
         return " / ".join(parts) + f" (attributed {self.total():.2f} s)"
 
 
-@contextmanager
-def phase(name: str) -> Iterator[None]:
-    """Attribute the duration of the ``with`` body to phase ``name``.
-
-    A no-op (one global read) unless a :func:`collect_phases` collector
-    is active, so instrumented hot paths pay nothing by default.
-    """
-    collector = _ACTIVE
-    if collector is None:
-        yield
-        return
-    started = time.perf_counter()
-    try:
-        yield
-    finally:
-        collector.add(name, time.perf_counter() - started)
+#: Alias: a phase is a span.  ``phase(name, **attrs)`` attributes the
+#: ``with`` body to ``name`` in every active collector and tracer; a
+#: no-op (one context-variable read) when none is active.
+phase = span
 
 
 @contextmanager
 def collect_phases() -> Iterator[PhaseTimes]:
-    """Install a collector for the duration of the ``with`` block.
+    """Install a phase collector for the duration of the ``with`` block.
 
-    Collectors nest by shadowing: the innermost active block receives
-    the phases recorded while it is installed.
+    Context-local and re-entrant: concurrent collectors in other
+    threads or contexts never interleave, and nested collectors stack —
+    the innermost block's phases are also observed by outer collectors.
+    The underlying tracer is exposed as ``phases.tracer`` (span paths,
+    CPU time, merged worker stats).
     """
-    global _ACTIVE
-    previous = _ACTIVE
     collector = PhaseTimes()
-    _ACTIVE = collector
-    try:
+    with trace_run(Tracer(sink=collector)) as tracer:
+        collector.tracer = tracer
         yield collector
-    finally:
-        _ACTIVE = previous
