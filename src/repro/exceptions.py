@@ -36,6 +36,15 @@ class CompilationError(ReproError):
     """A netlist could not be lowered to a compiled bit-packed program."""
 
 
+class TaskTimeoutError(ReproError):
+    """A runtime task exceeded its per-task timeout budget.
+
+    Counted as a *retryable* failure by the resilience layer: tasks are
+    deterministic, so a re-run either finishes in time (a transient
+    stall) or times out again until the retry budget is exhausted.
+    """
+
+
 class ModelError(ReproError):
     """A machine-learning model is used before fitting or with bad shapes."""
 

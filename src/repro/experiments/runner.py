@@ -25,6 +25,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -38,7 +39,7 @@ from repro.experiments.fig10_distribution import run_fig10
 from repro.experiments.prediction import run_prediction_study
 from repro.families import family_ids, get_family
 from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
-from repro.runtime import BACKENDS, CachingBackend
+from repro.runtime import BACKENDS, RETRIES_ENV, TIMEOUT_ENV, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
 from repro.utils.phases import collect_phases
@@ -89,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-synth-cache", action="store_true",
                         help="disable the synthesis cache even when $REPRO_SYNTH_CACHE "
                              "is set")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="transient-failure retries per task, on top of the first "
+                             "attempt (exports $REPRO_MAX_RETRIES; default: "
+                             "$REPRO_MAX_RETRIES or 2)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-task wall-clock budget; stalled multiprocess tasks "
+                             "are re-dispatched, over-budget serial tasks retried "
+                             "(exports $REPRO_TASK_TIMEOUT; default: "
+                             "$REPRO_TASK_TIMEOUT or none)")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
     parser.add_argument("--timings", action="store_true",
                         help="append a phase breakdown (synthesize — split into "
@@ -249,6 +259,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Exports $REPRO_SYNTH_CACHE so multiprocess workers spawned by
         # the backend read through the same on-disk cache.
         configure_synth_cache(arguments.synth_cache_dir)
+    if arguments.max_retries is not None:
+        if arguments.max_retries < 0:
+            parser.error("--max-retries must be non-negative")
+        # Exported like the synthesis cache: backends resolve their
+        # RetryPolicy from the environment, workers inherit it.
+        os.environ[RETRIES_ENV] = str(arguments.max_retries)
+    if arguments.task_timeout is not None:
+        if arguments.task_timeout <= 0:
+            parser.error("--task-timeout must be positive")
+        os.environ[TIMEOUT_ENV] = str(arguments.task_timeout)
     overrides = {"simulator": arguments.simulator, "engine": arguments.engine,
                  "seed": arguments.seed}
     if arguments.backend is not None:

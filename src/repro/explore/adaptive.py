@@ -463,7 +463,9 @@ def select_batch(surrogate: _Surrogate, features: np.ndarray,
 # --------------------------------------------------------------------- #
 def run_adaptive(spec: AdaptiveSpec, backend="serial", workers: Optional[int] = None,
                  cache_dir: Optional[str] = None, plan: bool = True,
-                 progress: Optional[Callable[[RoundLog], None]] = None) -> AdaptiveResult:
+                 progress: Optional[Callable[[RoundLog], None]] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False) -> AdaptiveResult:
     """Run the surrogate-directed search loop over ``spec.space``.
 
     Backend handling mirrors :func:`~repro.explore.sweep.run_sweep`,
@@ -472,7 +474,15 @@ def run_adaptive(spec: AdaptiveSpec, backend="serial", workers: Optional[int] = 
     batch) and closed on return only if it was constructed here.
     ``progress`` is invoked with each round's :class:`RoundLog` as it
     completes.
+
+    ``checkpoint_dir`` / ``resume`` checkpoint each round's batch sweep
+    (see :func:`~repro.explore.sweep.run_sweep`): batch selection is
+    deterministic given the seed, so a resumed search re-derives the
+    same batches and replays their journaled scores instead of
+    re-simulating.
     """
+    from repro.explore.checkpoint import require_checkpoint_dir
+    checkpoint_dir = require_checkpoint_dir(checkpoint_dir, resume)
     from repro.runtime import CachingBackend, get_backend
     from repro.runtime.plan import PlannedBackend
 
@@ -516,7 +526,8 @@ def run_adaptive(spec: AdaptiveSpec, backend="serial", workers: Optional[int] = 
 
     def simulate(indices: np.ndarray, include_exact: bool) -> None:
         batch_spec = spec.sweep.with_entries(entries_for(indices, include_exact))
-        result = run_sweep(batch_spec, backend=resolved)
+        result = run_sweep(batch_spec, backend=resolved,
+                           checkpoint_dir=checkpoint_dir, resume=resume)
         points.extend(result.points)
         remaining[indices] = False
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -42,11 +43,12 @@ from repro.explore.pareto import (
     pareto_frontier,
     rank_frontier,
 )
+from repro.explore.checkpoint import resolve_checkpoint_dir
 from repro.explore.sweep import SWEEP_CPR_LEVELS, SweepSpec, run_sweep
 from repro.families import family_ids, get_family
 from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
 from repro.timing.clocking import ClockPlan
-from repro.runtime import BACKENDS, CachingBackend
+from repro.runtime import BACKENDS, RETRIES_ENV, TIMEOUT_ENV, CachingBackend
 from repro.runtime.synth_cache import active_synth_cache, configure_synth_cache
 from repro.timing.fast_sim import ENGINES
 from repro.utils.phases import collect_phases
@@ -117,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-synth-cache", action="store_true",
                         help="disable the synthesis cache even when $REPRO_SYNTH_CACHE "
                              "is set")
+    parser.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                        help="journal completed job batches to DIR so an interrupted "
+                             "exploration can resume (default: $REPRO_CHECKPOINT_DIR, "
+                             "or no checkpointing)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted exploration from the checkpoint "
+                             "journal: journaled scores are replayed and only "
+                             "unfinished jobs are simulated (requires --checkpoint-dir "
+                             "or $REPRO_CHECKPOINT_DIR)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="transient-failure retries per task, on top of the first "
+                             "attempt (exports $REPRO_MAX_RETRIES; default: "
+                             "$REPRO_MAX_RETRIES or 2)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-task wall-clock budget; stalled multiprocess tasks "
+                             "are re-dispatched, over-budget serial tasks retried "
+                             "(exports $REPRO_TASK_TIMEOUT; default: "
+                             "$REPRO_TASK_TIMEOUT or none)")
     parser.add_argument("--adaptive", action="store_true",
                         help="surrogate-directed search instead of a sweep: simulate "
                              "only a budgeted fraction of the space, steering each "
@@ -294,6 +314,14 @@ def run_exploration(arguments) -> ExplorationReport:
         # Exports $REPRO_SYNTH_CACHE so multiprocess workers spawned by
         # the backend read through the same on-disk cache.
         configure_synth_cache(arguments.synth_cache_dir)
+    # Resilience knobs export through the environment for the same
+    # reason: backends resolve their RetryPolicy from it at construction,
+    # worker processes inherit it.
+    if arguments.max_retries is not None:
+        os.environ[RETRIES_ENV] = str(arguments.max_retries)
+    if arguments.task_timeout is not None:
+        os.environ[TIMEOUT_ENV] = str(arguments.task_timeout)
+    checkpoint_dir = resolve_checkpoint_dir(arguments.checkpoint_dir)
     synth_cache = active_synth_cache()
     synth_baseline = (synth_cache.stats.snapshot()
                       if synth_cache is not None else None)
@@ -308,7 +336,8 @@ def run_exploration(arguments) -> ExplorationReport:
             max_rounds=arguments.rounds, seed=arguments.seed)
         adaptive = run_adaptive(
             adaptive_spec, backend=backend,
-            progress=lambda log: print(f"  {log.describe()}", file=sys.stderr))
+            progress=lambda log: print(f"  {log.describe()}", file=sys.stderr),
+            checkpoint_dir=checkpoint_dir, resume=arguments.resume)
         points = adaptive.points
         jobs_total = (adaptive.simulated + 1) * len(spec.workloads)
         mode_lines = [
@@ -317,12 +346,16 @@ def run_exploration(arguments) -> ExplorationReport:
         explored_note = (f"explored {adaptive.simulated} of {adaptive.candidates} "
                          f"designs in {len(adaptive.rounds)} rounds")
     else:
-        result = run_sweep(spec, backend=backend)
+        result = run_sweep(spec, backend=backend,
+                           checkpoint_dir=checkpoint_dir, resume=arguments.resume)
         points = result.points
         jobs_total = spec.job_count
         mode_lines = [f"sweep     : {spec.describe()}"]
         explored_note = (f"explored {len(spec.entries)} designs / "
                          f"{spec.point_count} points")
+        if result.resumed_jobs:
+            explored_note += (f", resumed {result.resumed_jobs} jobs from "
+                              f"the checkpoint journal")
 
     candidates = aggregate_points(points)
     ranked = rank_frontier(pareto_frontier(candidates))
@@ -400,6 +433,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--batch-size must be at least 1 design")
     if arguments.rounds < 0:
         parser.error("--rounds must be non-negative")
+    if arguments.max_retries is not None and arguments.max_retries < 0:
+        parser.error("--max-retries must be non-negative")
+    if arguments.task_timeout is not None and arguments.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if arguments.resume and resolve_checkpoint_dir(arguments.checkpoint_dir) is None:
+        parser.error("--resume requires --checkpoint-dir (or $REPRO_CHECKPOINT_DIR)")
     with telemetry_run(resolve_telemetry_dir(arguments.telemetry_dir),
                        command="repro-explore",
                        config={"family": arguments.family,

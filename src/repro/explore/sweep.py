@@ -172,10 +172,15 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """Every scored point of one executed sweep."""
+    """Every scored point of one executed sweep.
+
+    ``resumed_jobs`` counts jobs whose scores were replayed from a
+    checkpoint journal instead of simulated (zero without checkpointing).
+    """
 
     spec: SweepSpec
     points: List[SweepPoint]
+    resumed_jobs: int = 0
 
     @property
     def designs(self) -> List[str]:
@@ -230,9 +235,17 @@ def _score_characterization(characterization: DesignCharacterization,
     return points
 
 
+#: Jobs simulated between checkpoint-journal flushes (a compromise:
+#: small enough that an interruption forfeits little work, large enough
+#: that the multiprocess backend still sees batches worth scheduling).
+CHECKPOINT_BATCH = 16
+
+
 def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
               cache_dir: Optional[str] = None, plan: bool = True,
-              telemetry_dir: Optional[str] = None) -> SweepResult:
+              telemetry_dir: Optional[str] = None,
+              checkpoint_dir: Optional[str] = None, resume: bool = False,
+              checkpoint_batch: int = CHECKPOINT_BATCH) -> SweepResult:
     """Expand a sweep spec and run it through the job pipeline.
 
     ``backend`` is a backend name or an owned :class:`Backend` instance
@@ -254,24 +267,88 @@ def run_sweep(spec: SweepSpec, backend="serial", workers: Optional[int] = None,
     manifest covering the whole sweep — expansion, execution *and*
     scoring — unless an outer telemetry session (a CLI) already
     observes it (see :mod:`repro.obs.manifest`).
+
+    ``checkpoint_dir`` (or ``$REPRO_CHECKPOINT_DIR``) journals each
+    completed batch of ``checkpoint_batch`` jobs — simulated *and*
+    scored — into a :class:`~repro.explore.checkpoint.SweepJournal`;
+    with ``resume=True`` a previously interrupted run replays journaled
+    scores and simulates only the unfinished jobs (counted in
+    ``SweepResult.resumed_jobs`` and the ``sweep.jobs_resumed`` metric),
+    with points identical to an uninterrupted run.  Without ``resume``
+    an existing journal of the same sweep is discarded first.
     """
+    from repro.explore.checkpoint import SweepJournal, require_checkpoint_dir
     from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
+    from repro.obs.metrics import metric_count
+    resolved_checkpoint = require_checkpoint_dir(checkpoint_dir, resume)
     with telemetry_run(resolve_telemetry_dir(telemetry_dir),
                        command="run_sweep",
                        config={"sweep": spec.describe(),
                                "backend": getattr(backend, "name", str(backend)),
                                "workers": workers,
                                "cache_dir": str(cache_dir) if cache_dir else None,
-                               "plan": plan}):
-        characterizations = run_jobs(spec.jobs(), backend=backend, workers=workers,
-                                     cache_dir=cache_dir, plan=plan)
+                               "plan": plan,
+                               "checkpoint_dir": resolved_checkpoint,
+                               "resume": resume}):
+        jobs = spec.jobs()
 
-        points: List[SweepPoint] = []
-        index = 0
-        for workload in spec.workloads:
-            for _ in spec.entries:
+        def workload_of(index: int) -> str:
+            # jobs() is workload-major: every workload's trace covers one
+            # contiguous run of len(entries) jobs.
+            return spec.workloads[index // len(spec.entries)].kind
+
+        if resolved_checkpoint is None:
+            characterizations = run_jobs(jobs, backend=backend, workers=workers,
+                                         cache_dir=cache_dir, plan=plan)
+            points: List[SweepPoint] = []
+            for index, characterization in enumerate(characterizations):
                 points.extend(score_characterization(
-                    characterizations[index], spec.clock_plan, spec.width,
-                    workload=workload.kind))
-                index += 1
-        return SweepResult(spec=spec, points=points)
+                    characterization, spec.clock_plan, spec.width,
+                    workload=workload_of(index)))
+            return SweepResult(spec=spec, points=points)
+
+        from repro.runtime.cache import job_digest
+        digests = [job_digest(job) for job in jobs]
+        journal = SweepJournal.for_spec(resolved_checkpoint, digests)
+        if not resume:
+            journal.clear()
+        completed = journal.load() if resume else {}
+        pending = [index for index, digest in enumerate(digests)
+                   if digest not in completed]
+        resumed = len(jobs) - len(pending)
+        if resumed:
+            metric_count("sweep.jobs_resumed", resumed)
+
+        # One resolved backend stack for every batch, so a worker pool
+        # (and its caches) stays warm across checkpoints; ownership and
+        # stacking mirror run_jobs.
+        from repro.runtime import CachingBackend, get_backend
+        from repro.runtime.plan import PlannedBackend
+        inner = get_backend(backend, workers=workers)
+        owns_inner = inner is not backend
+        resolved = inner
+        if plan and not isinstance(inner, (PlannedBackend, CachingBackend)):
+            resolved = PlannedBackend(resolved)
+        if cache_dir is not None:
+            resolved = CachingBackend(resolved, cache_dir)
+
+        scored: dict = dict(completed)
+        try:
+            for start in range(0, len(pending), max(1, checkpoint_batch)):
+                batch = pending[start:start + max(1, checkpoint_batch)]
+                characterizations = run_jobs([jobs[index] for index in batch],
+                                             backend=resolved, plan=plan)
+                for index, characterization in zip(batch, characterizations):
+                    job_points = score_characterization(
+                        characterization, spec.clock_plan, spec.width,
+                        workload=workload_of(index))
+                    scored[digests[index]] = job_points
+                    journal.record(digests[index], job_points)
+        finally:
+            if owns_inner:
+                inner.close()
+
+        points = []
+        for digest in digests:
+            points.extend(scored[digest])
+        return SweepResult(spec=spec, points=points, resumed_jobs=resumed)

@@ -51,6 +51,15 @@ from repro.runtime.cache import (
     job_digest,
     trace_digest,
 )
+from repro.runtime.faultinject import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    fault_point,
+    parse_fault_plan,
+    reset_fault_plan,
+)
 from repro.runtime.jobs import (
     SIMULATORS,
     CharacterizationJob,
@@ -63,6 +72,14 @@ from repro.runtime.jobs import (
     synthesize_job,
 )
 from repro.runtime.plan import PlannedBackend, execute_group
+from repro.runtime.resilience import (
+    RETRIES_ENV,
+    RETRYABLE_EXCEPTIONS,
+    TIMEOUT_ENV,
+    RetryPolicy,
+    deterministic_jitter,
+    retry_call,
+)
 from repro.runtime.synth_cache import (
     SynthesisCache,
     active_synth_cache,
@@ -72,31 +89,44 @@ from repro.runtime.synth_cache import (
 
 __all__ = [
     "BACKENDS",
+    "FAULT_PLAN_ENV",
+    "RETRIES_ENV",
+    "RETRYABLE_EXCEPTIONS",
     "SIMULATORS",
+    "TIMEOUT_ENV",
     "Backend",
     "CacheStats",
     "CachingBackend",
     "CharacterizationJob",
     "DesignCharacterization",
+    "FaultPlan",
+    "FaultSpec",
     "GoldenTask",
     "MultiprocessBackend",
     "PlannedBackend",
     "ResultStore",
+    "RetryPolicy",
     "SerialBackend",
     "SynthesisCache",
     "Task",
     "TimingChunkTask",
+    "active_fault_plan",
     "active_synth_cache",
     "build_simulator",
     "clear_design_cache",
     "configure_synth_cache",
+    "deterministic_jitter",
     "execute_group",
     "synth_digest",
     "execute_job",
     "execute_tasks",
+    "fault_point",
     "get_backend",
     "job_digest",
     "merge_timing_chunks",
+    "parse_fault_plan",
+    "reset_fault_plan",
+    "retry_call",
     "run_jobs",
     "synthesize_entry",
     "synthesize_job",

@@ -20,7 +20,16 @@
     backend at any worker count**.
 
 Backends raise whatever the job execution raises (e.g. the golden-model
-cross-check failure) — scheduling does not swallow errors.
+cross-check failure) — scheduling does not swallow errors.  *Transient*
+failures, however, are survived rather than raised: both backends retry
+individual tasks under a :class:`~repro.runtime.resilience.RetryPolicy`
+(safe because every task is deterministic and transition-local, so a
+retried task is bit-identical by construction), and the multiprocess
+backend recovers from a broken pool by rebuilding its executor and
+re-dispatching only the tasks whose futures did not complete — after
+``max_rebuilds`` consecutive rebuilds without progress it degrades to
+in-process execution with a :class:`RuntimeWarning` instead of failing
+the batch.
 """
 
 from __future__ import annotations
@@ -28,17 +37,21 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _wait_futures
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.compiled import WORD_BITS, transition_chunks
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, TaskTimeoutError
 from repro.obs.manifest import resolve_telemetry_dir, telemetry_run
 from repro.obs.metrics import metric_count
 from repro.obs.spill import drain_spill_dir, spilled_call, telemetry_active
+from repro.runtime.faultinject import POINT_TASK, fault_point, reset_fault_plan
+from repro.runtime.resilience import RetryPolicy, retry_call
 from repro.runtime.jobs import (
     CharacterizationJob,
     DesignCharacterization,
@@ -136,6 +149,11 @@ class Backend:
 
     name = "abstract"
 
+    #: The task-level retry policy; concrete backends resolve it from
+    #: the environment at construction (``REPRO_MAX_RETRIES`` /
+    #: ``REPRO_TASK_TIMEOUT``) unless one is passed in.
+    retry_policy: RetryPolicy = RetryPolicy()
+
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         """Execute ``jobs`` and return their results in submission order."""
         raise NotImplementedError
@@ -162,26 +180,51 @@ class SerialBackend(Backend):
     and one simulator per :meth:`CharacterizationJob.cache_key`, so a
     study submitting several traces of the same design (e.g. the
     prediction study's training + evaluation pair) lowers it only once.
+
+    Each job runs under the backend's :class:`RetryPolicy`: transient
+    failures are retried in place, and — since an in-process task cannot
+    be preempted — the per-task timeout is enforced post-hoc (an attempt
+    finishing over budget counts as a retryable timeout).
     """
 
     name = "serial"
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env())
 
     def run(self, jobs: Sequence[CharacterizationJob]) -> List[DesignCharacterization]:
         metric_count("jobs.simulated", len(jobs))
         simulators: Dict[tuple, object] = {}
         results: List[DesignCharacterization] = []
-        for job in jobs:
-            # synthesize_job memoises process-wide (and reads through the
-            # persistent synthesis cache), so a batch shares one design
-            # per synthesis identity without a batch-local dict.
-            synthesized = synthesize_job(job)
-            simulator_key = (job.cache_key(), job.clock_periods)
-            if simulator_key not in simulators:
-                simulators[simulator_key] = build_simulator(
-                    job.simulator, synthesized, engine=job.engine,
-                    clock_periods=job.clock_periods)
-            results.append(execute_job(job, synthesized=synthesized,
-                                       simulator=simulators[simulator_key]))
+        for index, job in enumerate(jobs):
+            def body(job=job):
+                fault_point(POINT_TASK, job.name)
+                # synthesize_job memoises process-wide (and reads through
+                # the persistent synthesis cache), so a batch shares one
+                # design per synthesis identity without a batch-local dict.
+                synthesized = synthesize_job(job)
+                simulator_key = (job.cache_key(), job.clock_periods)
+                if simulator_key not in simulators:
+                    simulators[simulator_key] = build_simulator(
+                        job.simulator, synthesized, engine=job.engine,
+                        clock_periods=job.clock_periods)
+                return execute_job(job, synthesized=synthesized,
+                                   simulator=simulators[simulator_key])
+            results.append(retry_call(self.retry_policy,
+                                      f"{job.name}:{index}", body))
+        return results
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[object]:
+        designs: Dict[tuple, object] = {}
+        simulators: Dict[tuple, object] = {}
+        results: List[object] = []
+        for index, task in enumerate(tasks):
+            def body(task=task):
+                fault_point(POINT_TASK, task.job.name)
+                return execute_tasks([task], designs, simulators)[0]
+            results.append(retry_call(self.retry_policy,
+                                      f"{task.job.name}:{index}", body))
         return results
 
 
@@ -214,6 +257,7 @@ def _cached_simulator(job: CharacterizationJob):
 
 def _golden_task(job: CharacterizationJob):
     """Worker task: synthesize (cached) and compute the golden references."""
+    fault_point(POINT_TASK, job.name)
     synthesized = _cached_design(job)
     diamond, gold, stats, netlist_words = golden_reference(job, synthesized)
     return synthesized, diamond, gold, stats, netlist_words
@@ -221,6 +265,7 @@ def _golden_task(job: CharacterizationJob):
 
 def _timing_chunk_task(chunk_job: CharacterizationJob):
     """Worker task: simulate one trace chunk (the job's trace is the slice)."""
+    fault_point(POINT_TASK, chunk_job.name)
     return run_timing(chunk_job, _cached_simulator(chunk_job))
 
 
@@ -230,10 +275,24 @@ def _whole_job_task(job: CharacterizationJob) -> DesignCharacterization:
     The trace is stripped from the result before it is pickled back —
     the parent already holds it on the job and restores it on receipt.
     """
+    fault_point(POINT_TASK, job.name)
     result = execute_job(job, synthesized=_cached_design(job),
                          simulator=_cached_simulator(job))
     result.trace = None
     return result
+
+
+@dataclass
+class _PendingCall:
+    """Driver-side state of one schedulable callable in a resilient gather."""
+
+    index: int
+    function: Callable
+    args: tuple
+    key: str
+    attempts: int = 0
+    resolved: bool = False
+    future: object = field(default=None, repr=False)
 
 
 class MultiprocessBackend(Backend):
@@ -252,17 +311,30 @@ class MultiprocessBackend(Backend):
         size splitting each job into about ``workers`` chunks; explicit
         values are rounded up to the packed word size (64), which keeps
         chunked execution bit-identical to a full-trace run.
+    retry_policy:
+        Task-level :class:`RetryPolicy` (default: from the environment —
+        ``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT``).
+    max_rebuilds:
+        Consecutive pool rebuilds without a single completed task before
+        the backend degrades to in-process execution (with a
+        :class:`RuntimeWarning`) instead of thrashing a pool whose
+        workers die on every task.
     """
 
     name = "multiprocess"
 
     def __init__(self, workers: Optional[int] = None,
-                 chunk_transitions: Optional[int] = None) -> None:
+                 chunk_transitions: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 max_rebuilds: int = 3) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
         if chunk_transitions is not None and chunk_transitions < 1:
             raise ConfigurationError(
                 f"chunk_transitions must be at least 1, got {chunk_transitions}")
+        if max_rebuilds < 1:
+            raise ConfigurationError(
+                f"max_rebuilds must be at least 1, got {max_rebuilds}")
         cpus = os.cpu_count() or 1
         if workers is not None and workers > cpus:
             warnings.warn(
@@ -272,7 +344,12 @@ class MultiprocessBackend(Backend):
             workers = cpus
         self.workers = workers if workers is not None else cpus
         self.chunk_transitions = chunk_transitions
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env())
+        self.max_rebuilds = max_rebuilds
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._degraded = False
+        self._rebuilds_without_progress = 0
         # Telemetry spill: per-worker JSONL files the driver merges back
         # (created lazily when a task is submitted under active
         # telemetry, removed by close()).  Offsets track the bytes each
@@ -291,11 +368,23 @@ class MultiprocessBackend(Backend):
     # ------------------------------------------------------------------ #
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            # Workers drop any fault-plan instance inherited via fork:
+            # fault event counters are per-process by contract, and an
+            # inherited driver counter would otherwise let a plan like
+            # "kill every 40th task" kill every fresh worker on its
+            # first task.
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             initializer=reset_fault_plan)
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Telemetry spills are drained *first*, so spans and metrics of
+        completed workers survive a close on the failure path too; the
+        temp spill directory is then removed.
+        """
+        self.drain_telemetry()
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
@@ -321,11 +410,9 @@ class MultiprocessBackend(Backend):
     def submit(self, function: Callable, *args):
         """Submit one callable to the worker pool (a raw future).
 
-        The extension point the execution planner uses to schedule its
-        batched group tasks on this backend's pool alongside ordinary
-        jobs; callers own the future and must handle
-        :class:`~concurrent.futures.process.BrokenProcessPool` like
-        :meth:`run` does (close the backend, then re-raise).
+        Callers own the future; most should schedule through
+        :meth:`run_calls` instead, which layers retries, pool recovery
+        and re-dispatch on top of raw submission.
 
         When telemetry is active in the submitting context, the task is
         wrapped so the worker records its own spans/metrics and spills
@@ -344,19 +431,154 @@ class MultiprocessBackend(Backend):
         if self._spill_dir is not None:
             drain_spill_dir(self._spill_dir, self._spill_offsets)
 
+    # ------------------------------------------------------------------ #
+    # Resilient gather: the one scheduling path every batch goes through
+    # ------------------------------------------------------------------ #
+    def _recover_pool(self, progressed: bool) -> None:
+        """Tear down a broken/stalled pool and account for the rebuild.
+
+        The spill directory survives (only :meth:`close` removes it), so
+        completed workers' telemetry is drained before their processes
+        are reaped; stuck workers are terminated best-effort — a pool
+        rebuilt around them would otherwise inherit their task queue.
+        """
+        self.drain_telemetry()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        metric_count("pool.rebuilds")
+        self._rebuilds_without_progress = \
+            (0 if progressed else self._rebuilds_without_progress) + 1
+        if self._rebuilds_without_progress >= self.max_rebuilds and not self._degraded:
+            self._degraded = True
+            metric_count("backend.degraded")
+            warnings.warn(
+                f"multiprocess backend degraded to in-process execution after "
+                f"{self._rebuilds_without_progress} consecutive pool rebuilds "
+                f"without progress", RuntimeWarning, stacklevel=3)
+
+    def run_calls(self, calls: Sequence[Tuple[Callable, tuple, str]],
+                  interleave: Optional[Callable[[], None]] = None) -> List[object]:
+        """Resiliently execute ``(function, args, key)`` callables in order.
+
+        The scheduling substrate under :meth:`run` / :meth:`run_tasks`
+        and the planner's group tasks.  Per round: every outstanding
+        call is submitted, then the driver waits for completions —
+
+        * a transient task failure is retried (with the policy's
+          deterministic backoff) up to ``max_attempts``; the original
+          error propagates on exhaustion, non-retryable errors at once;
+        * a :class:`BrokenProcessPool` (worker killed mid-task) rebuilds
+          the executor and re-dispatches only the calls whose futures
+          did not complete — completed results are kept, a re-dispatched
+          task is bit-identical by construction;
+        * a wait window of ``task_timeout`` seconds with **no** task
+          completing counts as a stall: the pool is rebuilt and every
+          unresolved call charged one timeout attempt, so a genuinely
+          stuck task exhausts its budget with a
+          :class:`TaskTimeoutError` instead of re-dispatching forever;
+        * after ``max_rebuilds`` consecutive rebuilds without progress
+          the backend degrades to in-process execution (warned once).
+
+        ``interleave`` is invoked once after the first submission —
+        the planner hook that overlaps pass-through jobs with group
+        tasks on the same pool.
+        """
+        policy = self.retry_policy
+        pending = [_PendingCall(index, function, args, key)
+                   for index, (function, args, key) in enumerate(calls)]
+        results: List[object] = [None] * len(pending)
+        outstanding = pending
+        while outstanding:
+            if self._degraded:
+                if interleave is not None:
+                    interleave, hook = None, interleave
+                    hook()
+                for call in outstanding:
+                    results[call.index] = retry_call(
+                        policy, call.key, call.function, *call.args)
+                    call.resolved = True
+                break
+            broken = stalled = progressed = False
+            failure: Optional[Tuple[int, Exception]] = None
+            unresolved: Dict[object, _PendingCall] = {}
+            try:
+                for call in outstanding:
+                    call.future = self.submit(call.function, *call.args)
+                    unresolved[call.future] = call
+            except BrokenProcessPool:
+                broken = True
+            if interleave is not None:
+                interleave, hook = None, interleave
+                hook()
+            retries: List[_PendingCall] = []
+            if not broken:
+                with phase("schedule.wait"):
+                    while unresolved and not broken:
+                        done, _ = _wait_futures(set(unresolved),
+                                                timeout=policy.task_timeout,
+                                                return_when=FIRST_COMPLETED)
+                        if not done:
+                            stalled = True
+                            break
+                        for future in done:
+                            call = unresolved.pop(future)
+                            try:
+                                outcome = future.result()
+                            except BrokenProcessPool:
+                                broken = True
+                                continue
+                            except Exception as error:
+                                if policy.retryable(error) and \
+                                        call.attempts + 1 < policy.max_attempts:
+                                    call.attempts += 1
+                                    retries.append(call)
+                                elif failure is None or call.index < failure[0]:
+                                    failure = (call.index, error)
+                                continue
+                            results[call.index] = outcome
+                            call.resolved = True
+                            progressed = True
+            if broken or stalled:
+                self._recover_pool(progressed)
+                outstanding = [call for call in outstanding if not call.resolved]
+                if stalled:
+                    # No task finished inside the timeout window: charge
+                    # every unresolved call one timeout attempt.
+                    for call in outstanding:
+                        call.attempts += 1
+                        if call.attempts >= policy.max_attempts:
+                            raise TaskTimeoutError(
+                                f"task {call.key} made no progress within its "
+                                f"{policy.task_timeout:g} s budget across "
+                                f"{call.attempts} attempts")
+                metric_count("tasks.retried", len(outstanding))
+                continue
+            if failure is not None:
+                raise failure[1]
+            if retries:
+                metric_count("tasks.retried", len(retries))
+                time.sleep(max(policy.delay(call.key, call.attempts)
+                               for call in retries))
+                outstanding = retries
+                continue
+            outstanding = []
+        return results
+
     def run_tasks(self, tasks: Sequence[Task]) -> List[object]:
         tasks = list(tasks)
         if not tasks:
             return []
-        try:
-            futures = [self.submit(_golden_task if isinstance(task, GoldenTask)
-                                   else _timing_chunk_task, task.job)
-                       for task in tasks]
-            with phase("schedule.wait"):
-                results = [future.result() for future in futures]
-        except BrokenProcessPool:
-            self.close()
-            raise
+        results = self.run_calls([
+            (_golden_task if isinstance(task, GoldenTask) else _timing_chunk_task,
+             (task.job,), f"{task.job.name}:{index}")
+            for index, task in enumerate(tasks)])
         self.drain_telemetry()
         return results
 
@@ -375,21 +597,14 @@ class MultiprocessBackend(Backend):
         # tests rely on it).  Either way results are bit-identical.
         split = self.chunk_transitions is not None or len(jobs) < self.workers
         metric_count("jobs.simulated", len(jobs))
-        try:
-            if not split:
-                futures = [self.submit(_whole_job_task, job) for job in jobs]
-                with phase("schedule.wait"):
-                    results = [future.result() for future in futures]
-                for job, result in zip(jobs, results):
-                    result.trace = job.trace
-            else:
-                results = self._run_split(jobs)
-        except BrokenProcessPool:
-            # A broken pool (worker killed mid-task) is not recoverable;
-            # drop it so the next run starts fresh.  Ordinary job errors
-            # propagate with the warm pool intact.
-            self.close()
-            raise
+        if not split:
+            results = self.run_calls([
+                (_whole_job_task, (job,), f"{job.name}:{index}")
+                for index, job in enumerate(jobs)])
+            for job, result in zip(jobs, results):
+                result.trace = job.trace
+        else:
+            results = self._run_split(jobs)
         self.drain_telemetry()
         return results
 
@@ -401,19 +616,22 @@ class MultiprocessBackend(Backend):
             transition_chunks(job.trace.transitions, self._chunk_size(job.trace.transitions))
             for job in jobs
         ]
-        golden_futures = [self.submit(_golden_task, job) for job in jobs]
-        chunk_futures = [
-            [self.submit(_timing_chunk_task,
-                         job.with_trace(job.trace.slice(start, stop + 1)))
-             for start, stop in spans[index]]
-            for index, job in enumerate(jobs)
-        ]
-        # Gather every raw worker result under one wait phase, then merge
-        # chunks driver-side — the merge is local compute, not waiting.
-        with phase("schedule.wait"):
-            golden_results = [future.result() for future in golden_futures]
-            chunk_results = [[future.result() for future in futures]
-                             for futures in chunk_futures]
+        # One flat resilient gather: goldens first, then every chunk in
+        # job order (the chunk merge below is local compute, not waiting).
+        calls: List[Tuple[Callable, tuple, str]] = [
+            (_golden_task, (job,), f"golden:{job.name}:{index}")
+            for index, job in enumerate(jobs)]
+        chunk_slices: List[Tuple[int, int]] = []
+        for index, job in enumerate(jobs):
+            start_call = len(calls)
+            calls.extend(
+                (_timing_chunk_task, (job.with_trace(job.trace.slice(start, stop + 1)),),
+                 f"chunk:{job.name}:{index}:{start}")
+                for start, stop in spans[index])
+            chunk_slices.append((start_call, len(calls)))
+        outcomes = self.run_calls(calls)
+        golden_results = outcomes[:len(jobs)]
+        chunk_results = [outcomes[start:stop] for start, stop in chunk_slices]
         results: List[DesignCharacterization] = []
         for index, job in enumerate(jobs):
             synthesized, diamond, gold, stats, netlist_words = golden_results[index]

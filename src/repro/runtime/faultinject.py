@@ -1,0 +1,295 @@
+"""Deterministic fault injection for resilience tests and chaos CI.
+
+A *fault plan* is a small JSON document naming faults to inject at
+instrumented points of the runtime — worker task entry
+(:data:`POINT_TASK`) and result-store writes (:data:`POINT_STORE_WRITE`
+/ :data:`POINT_STORE_WRITE_DONE`).  The plan is activated through the
+``REPRO_FAULT_PLAN`` environment variable (either the JSON itself or a
+path to a file holding it), so multiprocess workers — which inherit the
+environment — arm the same plan without any explicit plumbing, exactly
+like the synthesis cache (:func:`repro.runtime.synth_cache.active_synth_cache`).
+
+Plan format::
+
+    {"faults": [
+        {"kind": "kill-worker", "every": 40},
+        {"kind": "task-error", "at": 2},
+        {"kind": "delay", "at": 1, "seconds": 0.5, "times": 1},
+        {"kind": "store-error", "point": "store.write", "every": 5,
+         "match": "chaos-cache"},
+        {"kind": "truncate", "point": "store.write.done", "at": 3}
+     ],
+     "state_dir": "/tmp/faults"}
+
+Each fault spec counts the events of its point **per process** and
+fires on the ``at``-th event (once) or on every ``every``-th event;
+``match`` restricts the count to events whose key (job name, store
+path) contains the substring.  ``times`` caps the *global* firings
+across all processes through atomically-claimed token files in
+``state_dir`` (default: a temp directory derived from the plan text, so
+every process of one run shares it).  Everything else is a pure
+function of the plan and the per-process event sequence, which is what
+makes injected failures reproducible: the same plan against the same
+deterministic task stream kills the same worker on the same task.
+
+Fault kinds
+-----------
+``kill-worker``
+    ``os._exit(1)`` — but only inside a worker process
+    (:func:`multiprocessing.parent_process` is set); the driver is
+    immune, so a plan armed for a whole test suite can never kill the
+    test runner itself.
+``task-error``
+    Raise a transient :class:`OSError` from the task body (retryable).
+``delay``
+    Sleep ``seconds`` inside the task (exercises per-task timeouts).
+``store-error``
+    Raise :class:`OSError` from inside a result-store write (absorbed
+    as a warn-and-continue miss by :meth:`ResultStore.store`).
+``truncate``
+    Truncate the just-written cache entry file to half its size (the
+    next load sees corruption and recomputes — the corruption-as-miss
+    path).
+
+Malformed plans raise :class:`~repro.exceptions.ConfigurationError`
+naming the variable and the offending value, consistent with every
+other ``REPRO_*`` knob.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import metric_count
+
+#: Environment variable holding the fault plan (JSON text, or a path to
+#: a JSON file); unset or empty disables injection entirely.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Instrumented points a fault spec may attach to.
+POINT_TASK = "task"
+POINT_STORE_WRITE = "store.write"
+POINT_STORE_WRITE_DONE = "store.write.done"
+POINTS = (POINT_TASK, POINT_STORE_WRITE, POINT_STORE_WRITE_DONE)
+
+#: Fault kind -> the point it defaults to when the spec names none.
+KINDS = {
+    "kill-worker": POINT_TASK,
+    "task-error": POINT_TASK,
+    "delay": POINT_TASK,
+    "store-error": POINT_STORE_WRITE,
+    "truncate": POINT_STORE_WRITE_DONE,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: what, where, and on which events."""
+
+    kind: str
+    point: str
+    at: Optional[int] = None
+    every: Optional[int] = None
+    times: Optional[int] = None
+    seconds: float = 0.0
+    match: Optional[str] = None
+
+    def due(self, counter: int) -> bool:
+        """Whether the ``counter``-th matching event (1-based) fires."""
+        if self.at is not None and counter == self.at:
+            return True
+        return self.every is not None and counter % self.every == 0
+
+
+def _parse_spec(index: int, raw, value: str) -> FaultSpec:
+    def bad(detail: str) -> ConfigurationError:
+        return ConfigurationError(
+            f"{FAULT_PLAN_ENV} fault #{index + 1} {detail}, got {value!r}")
+
+    if not isinstance(raw, dict):
+        raise bad("must be an object")
+    kind = raw.get("kind")
+    if kind not in KINDS:
+        raise bad(f"names unknown kind {kind!r} (expected one of {sorted(KINDS)})")
+    point = raw.get("point", KINDS[kind])
+    if point not in POINTS:
+        raise bad(f"names unknown point {point!r} (expected one of {POINTS})")
+    counters = {}
+    for field in ("at", "every", "times"):
+        entry = raw.get(field)
+        if entry is not None and (not isinstance(entry, int) or entry < 1):
+            raise bad(f"field {field!r} must be a positive integer")
+        counters[field] = entry
+    if counters["at"] is None and counters["every"] is None:
+        raise bad("needs an 'at' or 'every' trigger")
+    seconds = raw.get("seconds", 0.0)
+    if not isinstance(seconds, (int, float)) or seconds < 0:
+        raise bad("field 'seconds' must be a non-negative number")
+    match = raw.get("match")
+    if match is not None and not isinstance(match, str):
+        raise bad("field 'match' must be a string")
+    unknown = set(raw) - {"kind", "point", "at", "every", "times", "seconds", "match"}
+    if unknown:
+        raise bad(f"has unknown fields {sorted(unknown)}")
+    return FaultSpec(kind=kind, point=point, at=counters["at"],
+                     every=counters["every"], times=counters["times"],
+                     seconds=float(seconds), match=match)
+
+
+class FaultPlan:
+    """An armed fault plan: per-process event counters plus injection.
+
+    Event counters are process-local state; the global ``times`` budget
+    of a spec is shared across processes through token files claimed
+    with ``O_CREAT | O_EXCL`` in :attr:`state_dir`.
+    """
+
+    def __init__(self, specs: List[FaultSpec], state_dir: str) -> None:
+        self.specs = specs
+        self.state_dir = state_dir
+        self._counters: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _claim(self, index: int) -> bool:
+        """Claim one firing of spec ``index`` against its global budget."""
+        spec = self.specs[index]
+        if spec.times is None:
+            return True
+        os.makedirs(self.state_dir, exist_ok=True)
+        for slot in range(spec.times):
+            token = os.path.join(self.state_dir, f"fault{index}-slot{slot}")
+            try:
+                os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+            except OSError:
+                return False
+        return False
+
+    def _inject(self, spec: FaultSpec, key: str, counter: int) -> None:
+        metric_count("faults.injected")
+        if spec.kind == "kill-worker":
+            # Only worker processes die; the driver (tests, CLIs) shrugs
+            # the fault off so a suite-wide plan cannot kill the runner.
+            if multiprocessing.parent_process() is not None:
+                os._exit(1)
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "truncate":
+            try:
+                size = os.path.getsize(key)
+                with open(key, "r+b") as handle:
+                    handle.truncate(size // 2)
+            except OSError:
+                pass
+            return
+        # task-error / store-error: a transient, retryable OSError.
+        raise OSError(f"injected {spec.kind} fault "
+                      f"(event #{counter} at {spec.point}: {key})")
+
+    def fire(self, point: str, key: str = "") -> None:
+        """Count one event at ``point`` and inject whatever falls due."""
+        for index, spec in enumerate(self.specs):
+            if spec.point != point:
+                continue
+            if spec.match is not None and spec.match not in key:
+                continue
+            counter = self._counters.get(index, 0) + 1
+            self._counters[index] = counter
+            if spec.due(counter) and self._claim(index):
+                self._inject(spec, key, counter)
+
+
+# --------------------------------------------------------------------- #
+# Environment-driven activation
+# --------------------------------------------------------------------- #
+_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_KEY: Optional[str] = None
+
+
+def parse_fault_plan(value: str) -> Tuple[List[FaultSpec], Optional[str]]:
+    """Parse a fault-plan document (JSON text or a path to one).
+
+    Returns ``(specs, state_dir)``; malformed documents raise
+    :class:`ConfigurationError` naming ``REPRO_FAULT_PLAN`` and the
+    value.
+    """
+    text = value
+    if not value.lstrip().startswith(("{", "[")):
+        try:
+            with open(value, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ConfigurationError(
+                f"{FAULT_PLAN_ENV} names an unreadable plan file "
+                f"({error}), got {value!r}") from None
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"{FAULT_PLAN_ENV} must be JSON (or a path to a JSON file): "
+            f"{error}, got {value!r}") from None
+    if isinstance(document, list):
+        document = {"faults": document}
+    if not isinstance(document, dict) or not isinstance(document.get("faults"), list):
+        raise ConfigurationError(
+            f"{FAULT_PLAN_ENV} must be an object with a 'faults' list "
+            f"(or a bare list), got {value!r}")
+    state_dir = document.get("state_dir")
+    if state_dir is not None and not isinstance(state_dir, str):
+        raise ConfigurationError(
+            f"{FAULT_PLAN_ENV} field 'state_dir' must be a path string, "
+            f"got {value!r}")
+    specs = [_parse_spec(index, raw, value)
+             for index, raw in enumerate(document["faults"])]
+    return specs, state_dir
+
+
+def _default_state_dir(value: str) -> str:
+    # Derived from the plan text, so every process of one run (workers
+    # inherit the same environment value) shares one budget directory.
+    digest = hashlib.sha256(value.encode("utf-8")).hexdigest()[:12]
+    return os.path.join(tempfile.gettempdir(), f"repro-faults-{digest}")
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process-wide plan named by ``REPRO_FAULT_PLAN``, or ``None``.
+
+    Rebuilt whenever the environment value changes (fresh per-process
+    event counters), so tests monkeypatching the variable and worker
+    processes inheriting it both see the right plan.
+    """
+    global _ACTIVE, _ACTIVE_KEY
+    value = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not value:
+        _ACTIVE, _ACTIVE_KEY = None, None
+        return None
+    if _ACTIVE is None or _ACTIVE_KEY != value:
+        specs, state_dir = parse_fault_plan(value)
+        _ACTIVE = FaultPlan(specs, state_dir or _default_state_dir(value))
+        _ACTIVE_KEY = value
+    return _ACTIVE
+
+
+def reset_fault_plan() -> None:
+    """Drop the process-wide plan instance (tests; the env decides the next)."""
+    global _ACTIVE, _ACTIVE_KEY
+    _ACTIVE, _ACTIVE_KEY = None, None
+
+
+def fault_point(point: str, key: str = "") -> None:
+    """Fire the active plan at an instrumented point (no-op without one)."""
+    plan = active_fault_plan()
+    if plan is not None:
+        plan.fire(point, key)

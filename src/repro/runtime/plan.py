@@ -40,7 +40,6 @@ import os
 import pickle
 import shutil
 import tempfile
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -57,6 +56,8 @@ from repro.runtime.backends import (
     _cached_design,
     get_backend,
 )
+from repro.runtime.faultinject import POINT_TASK, fault_point
+from repro.runtime.resilience import retry_call
 from repro.runtime.cache import trace_digest
 from repro.runtime.jobs import (
     CharacterizationJob,
@@ -255,6 +256,7 @@ def _planned_group_task(spec: _GroupSpec):
     """
     jobs = _group_jobs(spec)
     job0 = jobs[0]
+    fault_point(POINT_TASK, job0.name)
     synthesized = _cached_design(job0)
     simulator = _group_simulator(job0, synthesized)
     if spec.timing_only:
@@ -401,18 +403,17 @@ class PlannedBackend(Backend):
             spill_dir = tempfile.mkdtemp(prefix="repro-plan-traces-")
             try:
                 specs = self._spill_specs(jobs, batched, spill_dir, timing_only)
-                try:
-                    futures = [self.inner.submit(_planned_group_task, spec)
-                               for spec in specs]
-                    passthrough_fn()
-                    with phase("schedule.wait"):
-                        gathered = [future.result() for future in futures]
-                    for indices, outcomes in zip(batched, gathered):
-                        for index, outcome in zip(indices, outcomes):
-                            results[index] = outcome
-                except BrokenProcessPool:
-                    self.inner.close()
-                    raise
+                # Group tasks go through the inner backend's resilient
+                # gather: transient group failures retry, a killed worker
+                # re-dispatches only unfinished groups, and the
+                # pass-through batch interleaves on the same pool.
+                gathered = self.inner.run_calls(
+                    [(_planned_group_task, (spec,), f"group:{index}")
+                     for index, spec in enumerate(specs)],
+                    interleave=passthrough_fn)
+                for indices, outcomes in zip(batched, gathered):
+                    for index, outcome in zip(indices, outcomes):
+                        results[index] = outcome
                 self.inner.drain_telemetry()
                 if not timing_only:
                     for indices in batched:
@@ -424,25 +425,29 @@ class PlannedBackend(Backend):
 
         designs: Dict[tuple, object] = {}
         simulators: Dict[tuple, FastTimingSimulator] = {}
-        for indices in batched:
+        policy = self.inner.retry_policy
+        for group_index, indices in enumerate(batched):
             group = [jobs[index] for index in indices]
             job0 = group[0]
-            design_key = job0.cache_key()
-            synthesized = designs.get(design_key)
-            if synthesized is None:
-                synthesized = designs[design_key] = synthesize_job(job0)
-            simulator_key = group_key(job0)
-            simulator = simulators.get(simulator_key)
-            if simulator is None:
-                simulator = simulators[simulator_key] = \
-                    build_group_simulator(job0, synthesized)
-            if timing_only:
-                outcomes = simulator.run_traces_multi(
-                    [_operands_of(job.trace) for job in group],
-                    job0.clock_periods, output_bus=job0.output_bus).timing
-            else:
-                outcomes = execute_group(group, synthesized=synthesized,
-                                         simulator=simulator)
+
+            def body(group=group, job0=job0):
+                fault_point(POINT_TASK, job0.name)
+                design_key = job0.cache_key()
+                synthesized = designs.get(design_key)
+                if synthesized is None:
+                    synthesized = designs[design_key] = synthesize_job(job0)
+                simulator_key = group_key(job0)
+                simulator = simulators.get(simulator_key)
+                if simulator is None:
+                    simulator = simulators[simulator_key] = \
+                        build_group_simulator(job0, synthesized)
+                if timing_only:
+                    return simulator.run_traces_multi(
+                        [_operands_of(job.trace) for job in group],
+                        job0.clock_periods, output_bus=job0.output_bus).timing
+                return execute_group(group, synthesized=synthesized,
+                                     simulator=simulator)
+            outcomes = retry_call(policy, f"group:{job0.name}:{group_index}", body)
             for index, outcome in zip(indices, outcomes):
                 results[index] = outcome
         passthrough_fn()

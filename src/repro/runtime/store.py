@@ -27,6 +27,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -36,6 +37,11 @@ import numpy as np
 from repro.circuit.library import TechnologyLibrary
 from repro.exceptions import ConfigurationError
 from repro.obs.metrics import active_registries, metric_count
+from repro.runtime.faultinject import (
+    POINT_STORE_WRITE,
+    POINT_STORE_WRITE_DONE,
+    fault_point,
+)
 
 #: Bumped whenever a stored payload layout changes; old entries are
 #: then unreadable by design and silently recomputed.  Caches layer
@@ -134,6 +140,7 @@ class CacheStats:
     shard_misses: int = 0
     corrupt: int = 0
     pruned: int = 0
+    write_errors: int = 0
 
     def snapshot(self) -> "CacheStats":
         """An independent copy of the current counter values."""
@@ -159,6 +166,8 @@ class CacheStats:
             text += f", {self.corrupt} corrupt entries discarded"
         if self.pruned:
             text += f", {self.pruned} entries pruned to the size budget"
+        if self.write_errors:
+            text += f", {self.write_errors} writes skipped on I/O errors"
         return text
 
 
@@ -198,6 +207,7 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = stats if stats is not None else CacheStats()
         self.limit_bytes = limit_bytes
+        self._write_warned = False
         #: prefix dir -> {entry dir -> [newest mtime, total bytes]};
         #: None until first use.  Bucketing by prefix keeps a prefix
         #: rescan proportional to that prefix's entries, not the store.
@@ -256,26 +266,59 @@ class ResultStore:
         concurrent writers of the same key each publish a complete file
         and the last rename wins (all writers produce identical bytes
         for identical keys, so the winner does not matter).
+
+        A transient :class:`OSError` anywhere in the write path
+        (``ENOSPC``, ``EACCES``, a flaky filesystem) is absorbed: the
+        entry simply stays a miss, counted in ``stats.write_errors`` and
+        warned about once per store — symmetric with :meth:`load`
+        treating corruption as a miss, so cache I/O never crashes a long
+        sweep.  Unpicklable payloads still raise: that is a caller bug,
+        not an environment fault.
         """
-        observation = self._observe_before_write(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
-                                             suffix=".pkl")
-        replaced = self._size_of(path)
+        temp_name = None
         try:
+            fault_point(POINT_STORE_WRITE, str(path))
+            observation = self._observe_before_write(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                                 suffix=".pkl")
+            replaced = self._size_of(path)
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump({"format": STORE_FORMAT, "payload": payload}, stream,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_name, path)
+        except OSError as error:
+            self._cleanup_temp(temp_name)
+            self._note_write_failure(path, error)
+            return
         except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
+            self._cleanup_temp(temp_name)
             raise
         self._note_write(path, replaced, observation)
         if active_registries():
             metric_count("store.bytes_written", self._size_of(path))
+        # Post-publish hook: lets the fault harness corrupt the entry we
+        # just wrote (exercising the corruption-as-miss read path).
+        fault_point(POINT_STORE_WRITE_DONE, str(path))
+
+    @staticmethod
+    def _cleanup_temp(temp_name: Optional[str]) -> None:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+
+    def _note_write_failure(self, path: Path, error: OSError) -> None:
+        """Count a swallowed write error; warn on the first one only."""
+        self.stats.write_errors += 1
+        metric_count("store.write_errors")
+        if not self._write_warned:
+            self._write_warned = True
+            warnings.warn(
+                f"cache write to {path} failed ({error}); the entry stays a "
+                f"miss and further write failures of this store will not be "
+                f"re-warned", RuntimeWarning, stacklevel=3)
 
     def write_meta(self, digest: str, meta: dict) -> None:
         """Best-effort ``meta.json`` describing the entry for humans."""
